@@ -1,0 +1,253 @@
+// Package repro's benchmark harness regenerates every table and figure
+// of the paper's evaluation. Each benchmark runs the corresponding
+// experiment end to end and reports the headline statistics as custom
+// benchmark metrics, so `go test -bench=. -benchmem` doubles as the
+// reproduction driver:
+//
+//	go test -bench=BenchmarkFig9WPRCDF -benchmem
+//
+// Scale: benchmarks use benchJobs jobs per trace (a "one-day"-like
+// workload at laptop scale). The cloudsim CLI runs the same experiments
+// at any scale (-jobs).
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+const (
+	benchSeed = 20131117 // SC'13 opening day
+	benchJobs = 1000
+)
+
+var benchOpts = experiments.Opts{Seed: benchSeed, Jobs: benchJobs}
+
+// run executes a registered experiment once per iteration, keeping the
+// final result visible to prevent dead-code elimination.
+func run(b *testing.B, id string) interface{ String() string } {
+	b.Helper()
+	var last interface{ String() string }
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, benchOpts)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		last = res
+	}
+	if last == nil || len(last.String()) == 0 {
+		b.Fatalf("%s: empty result", id)
+	}
+	return last
+}
+
+// BenchmarkFig4PriorityIntervals regenerates Figure 4: per-priority
+// CDFs of uninterrupted task intervals.
+func BenchmarkFig4PriorityIntervals(b *testing.B) {
+	res := run(b, "fig4").(*experiments.Fig4Result)
+	b.ReportMetric(res.Medians[1], "p1-median-s")
+	b.ReportMetric(res.Medians[10], "p10-median-s")
+}
+
+// BenchmarkFig5DistributionFitting regenerates Figure 5: MLE fits of
+// five families to failure intervals; Pareto wins overall, exponential
+// recovers below 1000 s.
+func BenchmarkFig5DistributionFitting(b *testing.B) {
+	res := run(b, "fig5").(*experiments.Fig5Result)
+	b.ReportMetric(res.FracShort, "frac-short")
+	b.ReportMetric(res.ShortLambda*1e3, "short-lambda-e3")
+}
+
+// BenchmarkFig7CheckpointCost regenerates Figure 7: checkpoint cost vs
+// count and memory for local ramdisk and NFS.
+func BenchmarkFig7CheckpointCost(b *testing.B) {
+	res := run(b, "fig7").(*experiments.Fig7Result)
+	last := len(res.MemSizesMB) - 1
+	b.ReportMetric(res.LocalCost[last][4], "local-240MB-x5-s")
+	b.ReportMetric(res.NFSCost[last][4], "nfs-240MB-x5-s")
+}
+
+// BenchmarkTable2SimultaneousCheckpoint regenerates Table 2: parallel
+// checkpointing cost on local ramdisk vs NFS.
+func BenchmarkTable2SimultaneousCheckpoint(b *testing.B) {
+	res := run(b, "table2").(*experiments.SimultaneousResult)
+	b.ReportMetric(res.Rows["NFS"][4].Avg, "nfs-deg5-avg-s")
+	b.ReportMetric(res.Rows["local ramdisk"][4].Avg, "local-deg5-avg-s")
+}
+
+// BenchmarkTable3DMNFS regenerates Table 3: DM-NFS stays within ~2 s.
+func BenchmarkTable3DMNFS(b *testing.B) {
+	res := run(b, "table3").(*experiments.SimultaneousResult)
+	b.ReportMetric(res.Rows["DM-NFS"][4].Avg, "dmnfs-deg5-avg-s")
+}
+
+// BenchmarkTable4CheckpointOperation regenerates Table 4: checkpoint
+// operation time vs memory.
+func BenchmarkTable4CheckpointOperation(b *testing.B) {
+	res := run(b, "table4").(*experiments.Table4Result)
+	b.ReportMetric(res.Cost[len(res.Cost)-1], "240MB-op-s")
+}
+
+// BenchmarkTable5RestartCost regenerates Table 5: restart cost per
+// migration type.
+func BenchmarkTable5RestartCost(b *testing.B) {
+	res := run(b, "table5").(*experiments.Table5Result)
+	b.ReportMetric(res.MigrationA[4], "migA-160MB-s")
+	b.ReportMetric(res.MigrationB[4], "migB-160MB-s")
+}
+
+// BenchmarkTable6PrecisePrediction regenerates Table 6: with oracle
+// statistics both formulas coincide at high WPR.
+func BenchmarkTable6PrecisePrediction(b *testing.B) {
+	res := run(b, "table6").(*experiments.Table6Result)
+	b.ReportMetric(res.Rows["Mix"].AvgF3, "mix-avg-wpr-f3")
+	b.ReportMetric(res.Rows["Mix"].AvgYoung, "mix-avg-wpr-young")
+}
+
+// BenchmarkTable7MNOFMTBF regenerates Table 7: MNOF/MTBF per priority
+// and length limit — the MTBF-inflation evidence.
+func BenchmarkTable7MNOFMTBF(b *testing.B) {
+	res := run(b, "table7").(*experiments.Table7Result)
+	var shortMTBF, allMTBF float64
+	for _, row := range res.Rows {
+		if row.Priority == 2 {
+			if row.LimitSec == 1000 {
+				shortMTBF = row.MTBFMix
+			}
+			if row.LimitSec > 1e17 {
+				allMTBF = row.MTBFMix
+			}
+		}
+	}
+	b.ReportMetric(shortMTBF, "p2-mtbf-le1000-s")
+	b.ReportMetric(allMTBF, "p2-mtbf-all-s")
+}
+
+// BenchmarkFig8JobDistributions regenerates Figure 8: workload
+// calibration CDFs.
+func BenchmarkFig8JobDistributions(b *testing.B) {
+	res := run(b, "fig8").(*experiments.Fig8Result)
+	b.ReportMetric(res.MedianLenSec["mixture of both"], "median-len-s")
+	b.ReportMetric(res.MedianMemMB["mixture of both"], "median-mem-MB")
+}
+
+// BenchmarkFig9WPRCDF regenerates Figure 9: the headline comparison —
+// Formula 3 vs Young with priority-based estimates.
+func BenchmarkFig9WPRCDF(b *testing.B) {
+	res := run(b, "fig9").(*experiments.Fig9Result)
+	b.ReportMetric(res.ST.AvgF3, "st-avg-wpr-f3")
+	b.ReportMetric(res.ST.AvgYoung, "st-avg-wpr-young")
+	b.ReportMetric(res.BoT.AvgF3, "bot-avg-wpr-f3")
+	b.ReportMetric(res.BoT.AvgYoung, "bot-avg-wpr-young")
+}
+
+// BenchmarkFig10WPRByPriority regenerates Figure 10: min/avg/max WPR
+// per priority for both formulas.
+func BenchmarkFig10WPRByPriority(b *testing.B) {
+	res := run(b, "fig10").(*experiments.Fig10Result)
+	ahead, total := 0, 0
+	for _, rows := range [][]experiments.Fig10Row{res.ST, res.BoT} {
+		for _, row := range rows {
+			total++
+			if row.AvgF3 >= row.AvgYoung {
+				ahead++
+			}
+		}
+	}
+	if total > 0 {
+		b.ReportMetric(float64(ahead)/float64(total), "frac-priorities-f3-ahead")
+	}
+}
+
+// BenchmarkFig11RestrictedLengths regenerates Figure 11: WPR under
+// restricted task lengths.
+func BenchmarkFig11RestrictedLengths(b *testing.B) {
+	res := run(b, "fig11").(*experiments.Fig11Result)
+	b.ReportMetric(res.FracBelow90F3, "below-0.9-f3")
+	b.ReportMetric(res.FracBelow90Young, "below-0.9-young")
+}
+
+// BenchmarkFig12WallClock regenerates Figure 12: per-job wall-clock
+// increments of Young over Formula 3.
+func BenchmarkFig12WallClock(b *testing.B) {
+	res := run(b, "fig12").(*experiments.Fig12Result)
+	for _, row := range res.Rows {
+		if row.RL == 1000 {
+			b.ReportMetric(row.MeanIncrement, "rl1000-young-minus-f3-s")
+		}
+	}
+}
+
+// BenchmarkFig13WallClockRatio regenerates Figure 13: paired wall-clock
+// ratios between the formulas.
+func BenchmarkFig13WallClockRatio(b *testing.B) {
+	res := run(b, "fig13").(*experiments.Fig13Result)
+	b.ReportMetric(res.FracFasterF3, "frac-faster-f3")
+	b.ReportMetric(res.AvgReductionF3, "avg-reduction-f3")
+}
+
+// BenchmarkFig14DynamicVsStatic regenerates Figure 14: the adaptive
+// algorithm under mid-run priority changes.
+func BenchmarkFig14DynamicVsStatic(b *testing.B) {
+	res := run(b, "fig14").(*experiments.Fig14Result)
+	b.ReportMetric(res.AvgDynamic, "avg-wpr-dynamic")
+	b.ReportMetric(res.AvgStatic, "avg-wpr-static")
+	b.ReportMetric(res.WorstDynamic, "worst-wpr-dynamic")
+	b.ReportMetric(res.WorstStatic, "worst-wpr-static")
+}
+
+// BenchmarkAblationDaly compares Formula 3, Young, Daly, and no
+// checkpointing.
+func BenchmarkAblationDaly(b *testing.B) {
+	res := run(b, "ablation-daly").(*experiments.AblationDalyResult)
+	b.ReportMetric(res.AvgWPR["Formula(3)"], "wpr-f3")
+	b.ReportMetric(res.AvgWPR["Daly"], "wpr-daly")
+	b.ReportMetric(res.AvgWPR["None"], "wpr-none")
+}
+
+// BenchmarkAblationStorageChoice compares the Section 4.2.2 rule with
+// fixed storage modes.
+func BenchmarkAblationStorageChoice(b *testing.B) {
+	res := run(b, "ablation-storage").(*experiments.AblationStorageResult)
+	b.ReportMetric(res.AvgWPR["auto (Sec. 4.2.2)"], "wpr-auto")
+	b.ReportMetric(res.AvgWPR["always local"], "wpr-local")
+	b.ReportMetric(res.AvgWPR["always shared"], "wpr-shared")
+}
+
+// BenchmarkAblationTheorem2 quantifies the Theorem 2 recomputation
+// saving.
+func BenchmarkAblationTheorem2(b *testing.B) {
+	res := run(b, "ablation-theorem2").(*experiments.AblationTheorem2Result)
+	b.ReportMetric(float64(res.RecomputesAdaptive), "recomputes-adaptive")
+	b.ReportMetric(float64(res.RecomputesNaive), "recomputes-naive")
+}
+
+// BenchmarkAblationPrediction sweeps workload-prediction error.
+func BenchmarkAblationPrediction(b *testing.B) {
+	res := run(b, "ablation-prediction").(*experiments.AblationPredictionResult)
+	for _, row := range res.Rows {
+		if row.Predictor == "exact" {
+			b.ReportMetric(row.WPRF3, "wpr-f3-exact")
+		}
+		if row.Predictor == "noisy(1.5)" {
+			b.ReportMetric(row.WPRF3, "wpr-f3-noisy1.5")
+		}
+	}
+}
+
+// BenchmarkAblationHostFailures sweeps whole-host crash rates.
+func BenchmarkAblationHostFailures(b *testing.B) {
+	res := run(b, "ablation-hostfail").(*experiments.AblationHostFailuresResult)
+	last := res.Rows[len(res.Rows)-1]
+	b.ReportMetric(last.WPRF3, "wpr-f3-crashy")
+	b.ReportMetric(last.WPRNone, "wpr-none-crashy")
+}
+
+// BenchmarkAblationNonBlocking compares blocking and overlapped
+// checkpoint writes.
+func BenchmarkAblationNonBlocking(b *testing.B) {
+	res := run(b, "ablation-nonblocking").(*experiments.AblationNonBlockingResult)
+	b.ReportMetric(res.WPRBlocking, "wpr-blocking")
+	b.ReportMetric(res.WPRNonBlocking, "wpr-nonblocking")
+}

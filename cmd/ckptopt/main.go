@@ -1,0 +1,118 @@
+// Command ckptopt is a checkpoint-plan calculator implementing the
+// paper's formulas directly:
+//
+//	ckptopt -te 441 -c 1 -mnof 2
+//	    Formula (3): optimal interval count, positions, expected
+//	    wall-clock per Equation 4.
+//
+//	ckptopt -te 1000 -c 2 -mtbf 236.2 -formula young
+//	    Young's formula for comparison.
+//
+//	ckptopt -te 200 -mem 160 -mnof 2 -advise
+//	    Section 4.2.2 storage advisor using the BLCR cost models.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/blcr"
+	"repro/internal/core"
+	"repro/internal/tables"
+)
+
+func main() {
+	var (
+		te      = flag.Float64("te", 0, "task execution (productive) length in seconds (required)")
+		c       = flag.Float64("c", 0, "checkpoint cost in seconds (derived from -mem when 0)")
+		r       = flag.Float64("r", 0, "restart cost in seconds (derived from -mem when 0)")
+		mnof    = flag.Float64("mnof", 0, "expected number of failures E(Y)")
+		mtbf    = flag.Float64("mtbf", 0, "mean time between failures in seconds")
+		mem     = flag.Float64("mem", 0, "task memory in MB, for BLCR-derived costs")
+		formula = flag.String("formula", "formula3", "formula3 | young | daly")
+		advise  = flag.Bool("advise", false, "run the Section 4.2.2 local-vs-shared storage advisor")
+	)
+	flag.Parse()
+
+	if *te <= 0 {
+		fail("ckptopt: -te is required and must be positive")
+	}
+
+	if *advise {
+		if *mem <= 0 {
+			fail("ckptopt: -advise requires -mem")
+		}
+		if *mnof <= 0 {
+			fail("ckptopt: -advise requires -mnof")
+		}
+		costs := core.StorageCosts{
+			Cl: blcr.CheckpointCostLocal(*mem),
+			Rl: blcr.RestartCost(*mem, blcr.MigrationA),
+			Cs: blcr.CheckpointCostNFS(*mem),
+			Rs: blcr.RestartCost(*mem, blcr.MigrationB),
+		}
+		choice, local, shared := core.CompareStorage(*te, *mnof, costs)
+		t := &tables.Table{
+			Title:   "Section 4.2.2 storage advisor",
+			Headers: []string{"device", "C (s)", "R (s)", "x*", "expected overhead (s)"},
+		}
+		xl := core.OptimalIntervals(*te, *mnof, costs.Cl)
+		xs := core.OptimalIntervals(*te, *mnof, costs.Cs)
+		t.AddRowValues("local ramdisk", costs.Cl, costs.Rl, xl, local)
+		t.AddRowValues("shared disk", costs.Cs, costs.Rs, xs, shared)
+		fmt.Print(t.String())
+		fmt.Printf("recommendation: %s\n", choice)
+		return
+	}
+
+	cost := *c
+	if cost <= 0 {
+		if *mem <= 0 {
+			fail("ckptopt: provide -c or -mem")
+		}
+		cost = blcr.CheckpointCostLocal(*mem)
+	}
+	restart := *r
+	if restart <= 0 && *mem > 0 {
+		restart = blcr.RestartCost(*mem, blcr.MigrationA)
+	}
+
+	switch *formula {
+	case "formula3":
+		if *mnof <= 0 {
+			fail("ckptopt: formula3 requires -mnof")
+		}
+		x := core.OptimalIntervals(*te, *mnof, cost)
+		n := core.OptimalIntervalCount(*te, *mnof, cost)
+		fmt.Printf("Formula (3): x* = %.3f -> %d intervals (%d checkpoints)\n", x, n, n-1)
+		fmt.Printf("interval length: %.2f s\n", *te/float64(n))
+		fmt.Printf("expected wall-clock (Eq. 4): %.2f s (overhead %.2f s)\n",
+			core.ExpectedWallClock(*te, *mnof, cost, restart, float64(n)),
+			core.ExpectedOverhead(*te, *mnof, cost, restart, float64(n)))
+		if pos := core.CheckpointPositions(*te, n); len(pos) > 0 {
+			fmt.Printf("checkpoint positions (s): %v\n", pos)
+		}
+	case "young":
+		if *mtbf <= 0 {
+			fail("ckptopt: young requires -mtbf")
+		}
+		interval := core.YoungInterval(cost, *mtbf)
+		n := core.IntervalsFromLength(*te, interval)
+		fmt.Printf("Young (1974): Tc = sqrt(2*C*Tf) = %.2f s -> %d intervals\n", interval, n)
+	case "daly":
+		if *mtbf <= 0 {
+			fail("ckptopt: daly requires -mtbf")
+		}
+		interval := core.DalyInterval(cost, *mtbf)
+		n := core.IntervalsFromLength(*te, interval)
+		fmt.Printf("Daly (2006): Topt = %.2f s -> %d intervals\n", interval, n)
+	default:
+		fail("ckptopt: unknown -formula " + *formula)
+	}
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, msg)
+	os.Exit(2)
+}

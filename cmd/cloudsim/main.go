@@ -1,0 +1,72 @@
+// Command cloudsim reproduces the paper's tables and figures on the
+// simulated cloud. Run a single experiment:
+//
+//	cloudsim -exp fig9 -seed 1 -jobs 2000
+//
+// or everything:
+//
+//	cloudsim -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		seed   = flag.Uint64("seed", 20130601, "random seed; identical seeds reproduce runs exactly")
+		jobs   = flag.Int("jobs", 0, "trace size for trace-driven experiments (0 = per-experiment default)")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		csvDir = flag.String("csv", "", "directory to write plottable curve data (CDFs) as <exp>.csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.Names() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.Names()
+	}
+	opts := experiments.Opts{Seed: *seed, Jobs: *jobs}
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cloudsim: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (%.1fs) ===\n%s\n", id, time.Since(start).Seconds(), res)
+		if *csvDir != "" {
+			if plotter, ok := res.(experiments.Plotter); ok {
+				if err := writeCSV(*csvDir, id, plotter); err != nil {
+					fmt.Fprintf(os.Stderr, "cloudsim: %s: %v\n", id, err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+}
+
+func writeCSV(dir, id string, p experiments.Plotter) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, id+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return experiments.WriteCurvesCSV(f, p.Curves())
+}

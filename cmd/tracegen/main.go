@@ -1,0 +1,121 @@
+// Command tracegen generates synthetic Google-like traces and prints
+// their summary statistics (the Figure 8 calibration view).
+//
+//	tracegen -jobs 10000 -seed 1 -o trace.jsonl
+//	tracegen -stats trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/stats"
+	"repro/internal/tables"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		jobs       = flag.Int("jobs", 10000, "number of jobs to generate")
+		seed       = flag.Uint64("seed", 20130601, "random seed")
+		out        = flag.String("o", "", "output path for JSON-lines trace ('' = stdout)")
+		statsPath  = flag.String("stats", "", "print summary statistics of an existing trace file and exit")
+		botFrac    = flag.Float64("bot", 0.45, "fraction of bag-of-tasks jobs")
+		rate       = flag.Float64("rate", 0.12, "job arrival rate (jobs/second)")
+		maxLen     = flag.Float64("maxlen", 0, "max task length in seconds (0 = 6 hours)")
+		changeFrac = flag.Float64("changes", 0, "fraction of tasks with a mid-run priority change")
+	)
+	flag.Parse()
+
+	if *statsPath != "" {
+		f, err := os.Open(*statsPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err := trace.Read(f)
+		if err != nil {
+			fatal(err)
+		}
+		printStats(tr)
+		return
+	}
+
+	cfg := trace.GenConfig{
+		Seed:                   *seed,
+		NumJobs:                *jobs,
+		ArrivalRate:            *rate,
+		BoTFraction:            *botFrac,
+		MaxTaskLength:          *maxLen,
+		PriorityChangeFraction: *changeFrac,
+	}
+	tr := trace.Generate(cfg)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.Write(w); err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d jobs (%d tasks) to %s\n",
+			len(tr.Jobs), len(tr.Tasks()), *out)
+		printStats(tr)
+	}
+}
+
+func printStats(tr *trace.Trace) {
+	var lens, mems []float64
+	byPriority := make(map[int]int)
+	st, bot := 0, 0
+	for _, j := range tr.Jobs {
+		if j.Structure == trace.Sequential {
+			st++
+		} else {
+			bot++
+		}
+		byPriority[j.Priority]++
+	}
+	for _, t := range tr.Tasks() {
+		lens = append(lens, t.LengthSec)
+		mems = append(mems, t.MemMB)
+	}
+	ls, ms := stats.Summarize(lens), stats.Summarize(mems)
+
+	t := &tables.Table{
+		Title:   "trace summary",
+		Headers: []string{"metric", "value"},
+	}
+	t.AddRowValues("jobs", len(tr.Jobs))
+	t.AddRowValues("tasks", len(lens))
+	t.AddRowValues("ST jobs", st)
+	t.AddRowValues("BoT jobs", bot)
+	t.AddRowValues("task length median (s)", ls.Median)
+	t.AddRowValues("task length p95 (s)", ls.P95)
+	t.AddRowValues("task memory median (MB)", ms.Median)
+	t.AddRowValues("task memory p95 (MB)", ms.P95)
+	fmt.Fprint(os.Stderr, t.String())
+
+	pt := &tables.Table{
+		Title:   "jobs by priority",
+		Headers: []string{"priority", "jobs"},
+	}
+	for _, p := range trace.PriorityOrder {
+		if byPriority[p] > 0 {
+			pt.AddRowValues(p, byPriority[p])
+		}
+	}
+	fmt.Fprint(os.Stderr, pt.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+	os.Exit(1)
+}

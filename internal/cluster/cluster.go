@@ -1,0 +1,258 @@
+// Package cluster models the execution substrate of the paper's testbed:
+// physical hosts running Xen-style VMs whose memory is the binding
+// resource. The scheduling policy is the paper's: "the physical host
+// with the maximum available memory size will be selected" (greedy
+// load balancing by free memory), and interrupted tasks are restarted
+// on a different host than the one where they failed.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Host is one physical machine.
+type Host struct {
+	ID    int
+	MemMB float64
+	used  float64
+	tasks int
+	alive bool
+}
+
+// FreeMem returns the host's unallocated memory.
+func (h *Host) FreeMem() float64 { return h.MemMB - h.used }
+
+// Tasks returns the number of tasks currently placed on the host.
+func (h *Host) Tasks() int { return h.tasks }
+
+// Alive reports whether the host is up.
+func (h *Host) Alive() bool { return h.alive }
+
+// Placement is a granted resource reservation: a VM instance isolated
+// (in the paper, by the hypervisor's credit scheduler) to the task's
+// memory demand on a chosen host.
+type Placement struct {
+	HostID int
+	MemMB  float64
+	seq    uint64
+	active bool
+}
+
+// Active reports whether the placement still holds resources.
+func (p *Placement) Active() bool { return p != nil && p.active }
+
+// Cluster is a collection of hosts with memory-constrained placement.
+// It is driven from a single goroutine (the discrete-event simulator).
+type Cluster struct {
+	hosts []*Host
+	seq   uint64
+}
+
+// New builds a cluster of `hosts` hosts with memMB memory each. The
+// paper's testbed is 32 hosts x 16 GB, of which 7 GB per host backs VM
+// instances; pass the memory the scheduler may commit to tasks.
+func New(hosts int, memMB float64) *Cluster {
+	if hosts <= 0 {
+		panic(fmt.Sprintf("cluster: need at least one host, got %d", hosts))
+	}
+	if !(memMB > 0) {
+		panic(fmt.Sprintf("cluster: host memory must be positive, got %v", memMB))
+	}
+	c := &Cluster{hosts: make([]*Host, hosts)}
+	for i := range c.hosts {
+		c.hosts[i] = &Host{ID: i, MemMB: memMB, alive: true}
+	}
+	return c
+}
+
+// Hosts returns the number of hosts.
+func (c *Cluster) Hosts() int { return len(c.hosts) }
+
+// Host returns the host with the given id.
+func (c *Cluster) Host(id int) *Host {
+	if id < 0 || id >= len(c.hosts) {
+		panic(fmt.Sprintf("cluster: host id %d out of range", id))
+	}
+	return c.hosts[id]
+}
+
+// Acquire reserves memMB on the live host with the maximum available
+// memory (the paper's VM selection policy). It returns nil when no host
+// can fit the request.
+func (c *Cluster) Acquire(memMB float64) *Placement {
+	return c.AcquireExcluding(memMB, -1)
+}
+
+// AcquireExcluding is Acquire but never places on the excluded host —
+// used when restarting a failed task "on another host". If only the
+// excluded host has room, the request fails (the task waits).
+func (c *Cluster) AcquireExcluding(memMB float64, excludeHost int) *Placement {
+	if !(memMB > 0) {
+		panic(fmt.Sprintf("cluster: acquire of non-positive memory %v", memMB))
+	}
+	var best *Host
+	for _, h := range c.hosts {
+		if !h.alive || h.ID == excludeHost || h.FreeMem() < memMB {
+			continue
+		}
+		if best == nil || h.FreeMem() > best.FreeMem() ||
+			(h.FreeMem() == best.FreeMem() && h.ID < best.ID) {
+			best = h
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	best.used += memMB
+	best.tasks++
+	c.seq++
+	return &Placement{HostID: best.ID, MemMB: memMB, seq: c.seq, active: true}
+}
+
+// AcquirePreview reports whether AcquireExcluding would succeed, without
+// reserving anything.
+func (c *Cluster) AcquirePreview(memMB float64, excludeHost int) bool {
+	if !(memMB > 0) {
+		return false
+	}
+	for _, h := range c.hosts {
+		if h.alive && h.ID != excludeHost && h.FreeMem() >= memMB {
+			return true
+		}
+	}
+	return false
+}
+
+// Release returns a placement's resources. Releasing an inactive
+// placement panics: it indicates double-release in the engine.
+func (c *Cluster) Release(p *Placement) {
+	if p == nil || !p.active {
+		panic("cluster: release of inactive placement")
+	}
+	h := c.Host(p.HostID)
+	h.used -= p.MemMB
+	h.tasks--
+	if h.used < -1e-9 || h.tasks < 0 {
+		panic(fmt.Sprintf("cluster: host %d accounting underflow (used %v, tasks %d)", h.ID, h.used, h.tasks))
+	}
+	if h.used < 0 {
+		h.used = 0
+	}
+	p.active = false
+}
+
+// FreeMem returns the total free memory across live hosts.
+func (c *Cluster) FreeMem() float64 {
+	var sum float64
+	for _, h := range c.hosts {
+		if h.alive {
+			sum += h.FreeMem()
+		}
+	}
+	return sum
+}
+
+// RunningTasks returns the number of active placements.
+func (c *Cluster) RunningTasks() int {
+	var n int
+	for _, h := range c.hosts {
+		n += h.tasks
+	}
+	return n
+}
+
+// SetAlive marks a host up or down. Tasks on a downed host are the
+// engine's responsibility to fail over; the cluster only stops placing
+// new work there.
+func (c *Cluster) SetAlive(hostID int, alive bool) {
+	c.Host(hostID).alive = alive
+}
+
+// Utilization returns the fraction of total memory in use.
+func (c *Cluster) Utilization() float64 {
+	var used, total float64
+	for _, h := range c.hosts {
+		used += h.used
+		total += h.MemMB
+	}
+	if total == 0 {
+		return 0
+	}
+	return used / total
+}
+
+// Snapshot returns per-host (id, freeMem) sorted by id, for tests and
+// observability.
+func (c *Cluster) Snapshot() []HostInfo {
+	out := make([]HostInfo, len(c.hosts))
+	for i, h := range c.hosts {
+		out[i] = HostInfo{ID: h.ID, FreeMB: h.FreeMem(), Tasks: h.tasks, Alive: h.alive}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// HostInfo is an observability snapshot row.
+type HostInfo struct {
+	ID     int
+	FreeMB float64
+	Tasks  int
+	Alive  bool
+}
+
+// PendingQueue is the FIFO queue of tasks waiting for resources, with
+// a restart lane: restarting tasks (already partially executed) are
+// placed ahead of fresh tasks, matching the paper's immediate-restart
+// design.
+type PendingQueue[T any] struct {
+	restarts []T
+	fresh    []T
+}
+
+// PushFresh enqueues a newly arrived task.
+func (q *PendingQueue[T]) PushFresh(v T) { q.fresh = append(q.fresh, v) }
+
+// PushRestart enqueues a task awaiting restart; it takes priority over
+// fresh tasks.
+func (q *PendingQueue[T]) PushRestart(v T) { q.restarts = append(q.restarts, v) }
+
+// Pop dequeues the next task (restarts first), reporting whether one
+// was available.
+func (q *PendingQueue[T]) Pop() (T, bool) {
+	var zero T
+	if len(q.restarts) > 0 {
+		v := q.restarts[0]
+		q.restarts = q.restarts[1:]
+		return v, true
+	}
+	if len(q.fresh) > 0 {
+		v := q.fresh[0]
+		q.fresh = q.fresh[1:]
+		return v, true
+	}
+	return zero, false
+}
+
+// PopWhere dequeues the first task (restarts first) satisfying pred,
+// preserving the order of the rest. It enables memory-aware dispatch:
+// the head may not fit while a smaller task behind it does.
+func (q *PendingQueue[T]) PopWhere(pred func(T) bool) (T, bool) {
+	var zero T
+	for i, v := range q.restarts {
+		if pred(v) {
+			q.restarts = append(q.restarts[:i], q.restarts[i+1:]...)
+			return v, true
+		}
+	}
+	for i, v := range q.fresh {
+		if pred(v) {
+			q.fresh = append(q.fresh[:i], q.fresh[i+1:]...)
+			return v, true
+		}
+	}
+	return zero, false
+}
+
+// Len returns the number of queued tasks.
+func (q *PendingQueue[T]) Len() int { return len(q.restarts) + len(q.fresh) }

@@ -1,0 +1,241 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCluster(t *testing.T) {
+	c := New(32, 7168)
+	if c.Hosts() != 32 {
+		t.Fatalf("Hosts = %d", c.Hosts())
+	}
+	if c.FreeMem() != 32*7168 {
+		t.Fatalf("FreeMem = %v", c.FreeMem())
+	}
+	if c.RunningTasks() != 0 || c.Utilization() != 0 {
+		t.Fatal("fresh cluster not empty")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(0, 100) },
+		func() { New(4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAcquirePicksMaxFreeMemory(t *testing.T) {
+	c := New(3, 1000)
+	// Load host 0 heavily, host 1 lightly.
+	p0 := c.AcquireExcluding(800, 1) // lands on host 0 or 2; both equal, lowest id wins -> 0
+	if p0.HostID != 0 {
+		t.Fatalf("first placement on host %d, want 0 (tie broken by id)", p0.HostID)
+	}
+	p1 := c.Acquire(100)
+	// Host 0 has 200 free, hosts 1-2 have 1000: must pick host 1.
+	if p1.HostID != 1 {
+		t.Fatalf("second placement on host %d, want 1", p1.HostID)
+	}
+	p2 := c.Acquire(100)
+	// Now host 1 has 900, host 2 has 1000: must pick host 2.
+	if p2.HostID != 2 {
+		t.Fatalf("third placement on host %d, want 2", p2.HostID)
+	}
+}
+
+func TestAcquireFailsWhenFull(t *testing.T) {
+	c := New(2, 500)
+	a := c.Acquire(400)
+	b := c.Acquire(400)
+	if a == nil || b == nil {
+		t.Fatal("initial placements failed")
+	}
+	if p := c.Acquire(200); p != nil {
+		t.Fatalf("acquire succeeded on full cluster (host %d)", p.HostID)
+	}
+	c.Release(a)
+	if p := c.Acquire(200); p == nil {
+		t.Fatal("acquire failed after release")
+	}
+}
+
+func TestAcquireExcludingSkipsHost(t *testing.T) {
+	c := New(2, 1000)
+	// Host 1 is the failed host; restart must go to host 0 even if
+	// host 1 has more free memory.
+	c.AcquireExcluding(500, 1) // consume on host 0
+	p := c.AcquireExcluding(100, 1)
+	if p == nil || p.HostID != 0 {
+		t.Fatalf("restart placed on %+v, want host 0", p)
+	}
+	// If only the excluded host has room, the request must fail.
+	c.AcquireExcluding(400, 1) // host 0 now almost full (900 used)
+	if p := c.AcquireExcluding(200, 0); p == nil {
+		t.Fatal("placement on non-excluded host 1 should succeed")
+	}
+	if p := c.AcquireExcluding(200, 1); p != nil && p.HostID == 1 {
+		t.Fatal("placement landed on excluded host")
+	}
+}
+
+func TestReleasePanicsOnDoubleRelease(t *testing.T) {
+	c := New(1, 100)
+	p := c.Acquire(50)
+	c.Release(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	c.Release(p)
+}
+
+func TestSetAliveExcludesHost(t *testing.T) {
+	c := New(2, 1000)
+	c.SetAlive(1, false)
+	for i := 0; i < 3; i++ {
+		p := c.Acquire(100)
+		if p == nil {
+			t.Fatal("placement failed with live host available")
+		}
+		if p.HostID == 1 {
+			t.Fatal("placed on dead host")
+		}
+	}
+	c.SetAlive(1, true)
+	// Host 1 now has max free memory again.
+	if p := c.Acquire(100); p.HostID != 1 {
+		t.Fatalf("revived host not preferred, got %d", p.HostID)
+	}
+}
+
+func TestUtilizationAndSnapshot(t *testing.T) {
+	c := New(2, 1000)
+	c.Acquire(500)
+	if got := c.Utilization(); got != 0.25 {
+		t.Fatalf("Utilization = %v, want 0.25", got)
+	}
+	snap := c.Snapshot()
+	if len(snap) != 2 || snap[0].FreeMB != 500 || snap[1].FreeMB != 1000 {
+		t.Fatalf("Snapshot = %+v", snap)
+	}
+	if c.RunningTasks() != 1 {
+		t.Fatalf("RunningTasks = %d", c.RunningTasks())
+	}
+}
+
+func TestAcquirePanicsOnBadMem(t *testing.T) {
+	c := New(1, 100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-memory acquire did not panic")
+		}
+	}()
+	c.Acquire(0)
+}
+
+func TestPendingQueueFIFO(t *testing.T) {
+	var q PendingQueue[int]
+	q.PushFresh(1)
+	q.PushFresh(2)
+	q.PushFresh(3)
+	for want := 1; want <= 3; want++ {
+		got, ok := q.Pop()
+		if !ok || got != want {
+			t.Fatalf("Pop = %d,%v want %d", got, ok, want)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue succeeded")
+	}
+}
+
+func TestPendingQueueRestartsFirst(t *testing.T) {
+	var q PendingQueue[string]
+	q.PushFresh("fresh1")
+	q.PushRestart("restart1")
+	q.PushFresh("fresh2")
+	q.PushRestart("restart2")
+	want := []string{"restart1", "restart2", "fresh1", "fresh2"}
+	for _, w := range want {
+		got, ok := q.Pop()
+		if !ok || got != w {
+			t.Fatalf("Pop = %q, want %q", got, w)
+		}
+	}
+}
+
+func TestPendingQueuePopWhere(t *testing.T) {
+	var q PendingQueue[int]
+	q.PushFresh(100)
+	q.PushFresh(5)
+	q.PushFresh(50)
+	got, ok := q.PopWhere(func(v int) bool { return v <= 10 })
+	if !ok || got != 5 {
+		t.Fatalf("PopWhere = %d,%v", got, ok)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d after PopWhere", q.Len())
+	}
+	// Remaining order preserved.
+	a, _ := q.Pop()
+	b, _ := q.Pop()
+	if a != 100 || b != 50 {
+		t.Fatalf("remaining order %d,%d", a, b)
+	}
+	if _, ok := q.PopWhere(func(int) bool { return true }); ok {
+		t.Fatal("PopWhere on empty queue succeeded")
+	}
+}
+
+// Property: memory accounting never goes negative and acquire/release
+// round-trips restore free memory exactly.
+func TestPropertyMemoryConservation(t *testing.T) {
+	f := func(ops []uint8) bool {
+		c := New(4, 1000)
+		var live []*Placement
+		initial := c.FreeMem()
+		for _, op := range ops {
+			if op%2 == 0 || len(live) == 0 {
+				mem := float64(op%90) + 10
+				if p := c.Acquire(mem); p != nil {
+					live = append(live, p)
+				}
+			} else {
+				p := live[len(live)-1]
+				live = live[:len(live)-1]
+				c.Release(p)
+			}
+			if c.FreeMem() < -1e-9 || c.FreeMem() > initial+1e-9 {
+				return false
+			}
+		}
+		for _, p := range live {
+			c.Release(p)
+		}
+		return c.FreeMem() == initial && c.RunningTasks() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAcquireRelease(b *testing.B) {
+	c := New(32, 7168)
+	for i := 0; i < b.N; i++ {
+		p := c.Acquire(128)
+		if p != nil {
+			c.Release(p)
+		}
+	}
+}

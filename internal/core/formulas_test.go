@@ -1,0 +1,299 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// The worked example under Theorem 1: Te=18 s, C=2 s, Poisson failures
+// with lambda=2 so E(Y)=2. x* = sqrt(18*2/(2*2)) = 3; checkpoint every
+// 18/3 = 6 seconds.
+func TestTheorem1WorkedExample(t *testing.T) {
+	x := OptimalIntervals(18, 2, 2)
+	if math.Abs(x-3) > 1e-12 {
+		t.Fatalf("x* = %v, want 3", x)
+	}
+	if n := OptimalIntervalCount(18, 2, 2); n != 3 {
+		t.Fatalf("rounded x* = %d, want 3", n)
+	}
+	pos := CheckpointPositions(18, 3)
+	want := []float64{6, 12}
+	if len(pos) != 2 || pos[0] != want[0] || pos[1] != want[1] {
+		t.Fatalf("positions = %v, want %v", pos, want)
+	}
+}
+
+// The Section 4.2.2 example: "if a task length, checkpointing cost and
+// expected number of failures are 441 seconds, 1 second, and 2
+// respectively, then the number of optimal checkpoints is
+// sqrt(441*2/(2*1)) - 1 = 20".
+func TestOptimalCheckpointCount441(t *testing.T) {
+	x := OptimalIntervals(441, 2, 1)
+	if math.Abs(x-21) > 1e-12 {
+		t.Fatalf("x* = %v, want 21", x)
+	}
+	if got := x - 1; math.Abs(got-20) > 1e-12 {
+		t.Fatalf("checkpoints = %v, want 20", got)
+	}
+}
+
+// The Corollary 1 worked example: C=2 s, lambda=0.00423445 per second,
+// so Young's interval = sqrt(2*2/0.00423445) ≈ 30.7 s.
+func TestCorollary1WorkedExample(t *testing.T) {
+	mtbf := 1 / 0.00423445
+	tc := YoungInterval(2, mtbf)
+	if math.Abs(tc-30.7) > 0.05 {
+		t.Fatalf("Young interval = %v, want ≈30.7", tc)
+	}
+}
+
+// Corollary 1 itself: under exponential failures, Formula 3 with
+// E(Y) = Te/Tf yields interval length Te/x* = sqrt(2*C*Tf) — Young's
+// formula — for any Te.
+func TestCorollary1Equivalence(t *testing.T) {
+	c := 2.0
+	tf := 500.0
+	for _, te := range []float64{100, 1000, 5000, 100000} {
+		mnof := MNOFFromMTBF(te, tf)
+		x := OptimalIntervals(te, mnof, c)
+		interval := te / x
+		young := YoungInterval(c, tf)
+		if math.Abs(interval-young) > 1e-9 {
+			t.Fatalf("Te=%v: Formula 3 interval %v != Young %v", te, interval, young)
+		}
+	}
+}
+
+// The Section 4.2.2 worked migration-type example: Te=200 s, 160 MB,
+// E(Y)=2, Cl=0.632, Rl=3.22 (migration A), Cs=1.67, Rs=1.45
+// (migration B). Paper: Xl=17.79, Xs=10.94; costs 28.29 vs 37.78;
+// local ramdisk wins.
+func TestStorageChoiceWorkedExample(t *testing.T) {
+	costs := StorageCosts{Cl: 0.632, Rl: 3.22, Cs: 1.67, Rs: 1.45}
+	xl := OptimalIntervals(200, 2, costs.Cl)
+	xs := OptimalIntervals(200, 2, costs.Cs)
+	if math.Abs(xl-17.79) > 0.01 {
+		t.Errorf("Xl = %v, want 17.79", xl)
+	}
+	if math.Abs(xs-10.94) > 0.01 {
+		t.Errorf("Xs = %v, want 10.94", xs)
+	}
+	choice, local, shared := CompareStorage(200, 2, costs)
+	if math.Abs(local-28.29) > 0.01 {
+		t.Errorf("local overhead = %v, want 28.29", local)
+	}
+	if math.Abs(shared-37.78) > 0.01 {
+		t.Errorf("shared overhead = %v, want 37.78", shared)
+	}
+	if choice != ChooseLocal {
+		t.Errorf("choice = %v, want local", choice)
+	}
+}
+
+func TestStorageChoicePrefersSharedWhenRestartDominates(t *testing.T) {
+	// Cheap shared checkpoints + very expensive local restarts with many
+	// failures must flip the choice.
+	costs := StorageCosts{Cl: 0.6, Rl: 50, Cs: 0.7, Rs: 1}
+	choice, local, shared := CompareStorage(200, 5, costs)
+	if choice != ChooseShared {
+		t.Fatalf("choice = %v (local %v, shared %v), want shared", choice, local, shared)
+	}
+}
+
+func TestStorageChoiceString(t *testing.T) {
+	if ChooseLocal.String() != "local-ramdisk" || ChooseShared.String() != "shared-disk" {
+		t.Fatal("StorageChoice.String mismatch")
+	}
+}
+
+func TestExpectedWallClockComposition(t *testing.T) {
+	// Equation 4 at x=1 (no checkpoints): Te + R*E(Y) + Te*E(Y)/2.
+	got := ExpectedWallClock(100, 2, 3, 5, 1)
+	want := 100.0 + 0 + 5*2 + 100*2/2.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("E(Tw) = %v, want %v", got, want)
+	}
+	if oh := ExpectedOverhead(100, 2, 3, 5, 1); math.Abs(oh-(want-100)) > 1e-12 {
+		t.Fatalf("overhead = %v, want %v", oh, want-100)
+	}
+}
+
+// The real-valued optimum of Equation 4 must indeed minimize it: values
+// at x*-1 and x*+1 are no better.
+func TestFormula3MinimizesEquation4(t *testing.T) {
+	cases := []struct{ te, mnof, c float64 }{
+		{100, 1, 1}, {1000, 3, 2}, {441, 2, 1}, {18, 2, 2}, {5000, 0.5, 4},
+	}
+	for _, cse := range cases {
+		x := OptimalIntervals(cse.te, cse.mnof, cse.c)
+		if x < 1 {
+			continue
+		}
+		at := func(v float64) float64 {
+			return ExpectedWallClock(cse.te, cse.mnof, cse.c, 0, v)
+		}
+		if at(x) > at(x-0.5)+1e-9 || at(x) > at(x+0.5)+1e-9 {
+			t.Errorf("Te=%v MNOF=%v C=%v: x*=%v is not a minimum", cse.te, cse.mnof, cse.c, x)
+		}
+	}
+}
+
+func TestRoundIntervalsPicksBetterNeighbor(t *testing.T) {
+	// x = 2.4: compare objective at 2 and 3 explicitly.
+	te, mnof, c := 300.0, 1.0, 13.0
+	x := OptimalIntervals(te, mnof, c) // sqrt(300/(26)) ≈ 3.397
+	n := RoundIntervals(te, mnof, c, x)
+	e2 := ExpectedWallClock(te, mnof, c, 0, float64(n))
+	for _, alt := range []int{n - 1, n + 1} {
+		if alt < 1 {
+			continue
+		}
+		if ExpectedWallClock(te, mnof, c, 0, float64(alt)) < e2-1e-9 {
+			t.Fatalf("RoundIntervals chose %d but %d is better", n, alt)
+		}
+	}
+}
+
+func TestRoundIntervalsFloorsAtOne(t *testing.T) {
+	if n := RoundIntervals(10, 0.0001, 100, OptimalIntervals(10, 0.0001, 100)); n != 1 {
+		t.Fatalf("tiny x* rounded to %d, want 1", n)
+	}
+}
+
+func TestDalyReducesToYoungForSmallC(t *testing.T) {
+	// For C << MTBF, Daly ≈ Young.
+	c, tf := 0.1, 100000.0
+	young := YoungInterval(c, tf)
+	daly := DalyInterval(c, tf)
+	if math.Abs(young-daly)/young > 0.01 {
+		t.Fatalf("Daly %v differs from Young %v by more than 1%% at small C", daly, young)
+	}
+}
+
+func TestDalySaturatesAtMTBF(t *testing.T) {
+	if got := DalyInterval(300, 100); got != 100 {
+		t.Fatalf("Daly with C >= 2*MTBF = %v, want MTBF", got)
+	}
+}
+
+func TestIntervalsFromLength(t *testing.T) {
+	cases := []struct {
+		te, interval float64
+		want         int
+	}{
+		{100, 25, 4},
+		{100, 30, 3},
+		{100, 1000, 1}, // interval longer than task
+		{100, 0, 1},    // degenerate interval
+		{0, 10, 1},     // degenerate task
+	}
+	for _, c := range cases {
+		if got := IntervalsFromLength(c.te, c.interval); got != c.want {
+			t.Errorf("IntervalsFromLength(%v, %v) = %d, want %d", c.te, c.interval, got, c.want)
+		}
+	}
+}
+
+func TestCheckpointPositionsProperties(t *testing.T) {
+	pos := CheckpointPositions(100, 5)
+	if len(pos) != 4 {
+		t.Fatalf("got %d positions, want 4", len(pos))
+	}
+	for i, p := range pos {
+		want := 20 * float64(i+1)
+		if math.Abs(p-want) > 1e-12 {
+			t.Errorf("pos[%d] = %v, want %v", i, p, want)
+		}
+	}
+	if CheckpointPositions(100, 1) != nil {
+		t.Error("x=1 should have no checkpoint positions")
+	}
+	if CheckpointPositions(0, 5) != nil {
+		t.Error("zero-length task should have no positions")
+	}
+}
+
+func TestPanicsOnInvalidArguments(t *testing.T) {
+	cases := []func(){
+		func() { OptimalIntervals(-1, 1, 1) },
+		func() { OptimalIntervals(1, -1, 1) },
+		func() { OptimalIntervals(1, 1, 0) },
+		func() { ExpectedWallClock(1, 1, 1, 1, 0.5) },
+		func() { YoungInterval(0, 1) },
+		func() { YoungInterval(1, 0) },
+		func() { DalyInterval(0, 1) },
+		func() { MNOFFromMTBF(1, 0) },
+		func() { MNOFFromMTBF(-1, 1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: x* scales as sqrt — doubling Te or MNOF multiplies x* by
+// sqrt(2); doubling C divides it by sqrt(2).
+func TestPropertyFormula3Scaling(t *testing.T) {
+	f := func(teRaw, mnofRaw, cRaw uint16) bool {
+		te := float64(teRaw%10000) + 1
+		mnof := float64(mnofRaw%100)/10 + 0.1
+		c := float64(cRaw%100)/10 + 0.1
+		x := OptimalIntervals(te, mnof, c)
+		s2 := math.Sqrt2
+		ok := math.Abs(OptimalIntervals(2*te, mnof, c)-x*s2) < 1e-9*x*s2+1e-12 &&
+			math.Abs(OptimalIntervals(te, 2*mnof, c)-x*s2) < 1e-9*x*s2+1e-12 &&
+			math.Abs(OptimalIntervals(te, mnof, 2*c)-x/s2) < 1e-9*x+1e-12
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the integer interval count from RoundIntervals is never
+// beaten by any other integer count in a wide scan.
+func TestPropertyRoundIntervalsGlobalOptimum(t *testing.T) {
+	f := func(teRaw, mnofRaw, cRaw uint16) bool {
+		te := float64(teRaw%5000) + 10
+		mnof := float64(mnofRaw%50)/10 + 0.1
+		c := float64(cRaw%50)/10 + 0.1
+		n := OptimalIntervalCount(te, mnof, c)
+		best := ExpectedWallClock(te, mnof, c, 0, float64(n))
+		for alt := 1; alt <= n*2+5; alt++ {
+			if ExpectedWallClock(te, mnof, c, 0, float64(alt)) < best-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ClampIntervals keeps results in [1, floor(te/c)].
+func TestPropertyClampIntervals(t *testing.T) {
+	f := func(x int16, teRaw, cRaw uint16) bool {
+		te := float64(teRaw%1000) + 1
+		c := float64(cRaw%100)/10 + 0.1
+		got := ClampIntervals(int(x), te, c)
+		if got < 1 {
+			return false
+		}
+		maxX := int(math.Floor(te / c))
+		if maxX < 1 {
+			maxX = 1
+		}
+		return got <= maxX
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

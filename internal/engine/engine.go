@@ -1,0 +1,429 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/simeng"
+	"repro/internal/storage"
+	"repro/internal/trace"
+)
+
+// StorageMode selects how each task's checkpoint storage is chosen.
+type StorageMode int
+
+const (
+	// StorageAuto applies the Section 4.2.2 rule per task: compare the
+	// expected total overheads of local-ramdisk and shared-disk
+	// checkpointing and pick the cheaper.
+	StorageAuto StorageMode = iota
+	// StorageLocal forces local-ramdisk checkpoints (migration type A).
+	StorageLocal
+	// StorageShared forces shared-disk checkpoints (migration type B).
+	StorageShared
+)
+
+// EstimateMode selects where per-task failure statistics come from.
+type EstimateMode int
+
+const (
+	// EstimatePriority uses history grouped by priority and task-length
+	// limit — the paper's practical estimator (Table 7, Figures 9-13).
+	EstimatePriority EstimateMode = iota
+	// EstimateOracle feeds each task its own realized failure statistics
+	// — the paper's "precise prediction" scenario (Table 6).
+	EstimateOracle
+)
+
+// Config parameterizes an engine run.
+type Config struct {
+	// Seed drives scheduling-independent randomness (storage jitter).
+	Seed uint64
+	// Hosts and HostMemMB size the cluster. Defaults: 32 hosts, 7168 MB
+	// of VM-backing memory each (7 x 1 GB VMs per host in the paper).
+	Hosts     int
+	HostMemMB float64
+	// Policy decides checkpoint interval counts. Required.
+	Policy core.Policy
+	// Dynamic enables Algorithm 1's adaptive MNOF handling on priority
+	// changes; when false the initial plan is kept (the paper's static
+	// baseline in Figure 14).
+	Dynamic bool
+	// Mode selects checkpoint storage (see StorageMode).
+	Mode StorageMode
+	// SharedKind selects the shared backend: storage.KindNFS or
+	// storage.KindDMNFS (the paper's default testbed uses DM-NFS).
+	SharedKind storage.Kind
+	// Estimates selects the statistics source (see EstimateMode).
+	Estimates EstimateMode
+	// Limits are the task-length limits for priority-based estimation;
+	// nil means trace.DefaultLengthLimits.
+	Limits []float64
+	// DetectionDelay is the failure-detection latency of the liveness
+	// polling threads (seconds).
+	DetectionDelay float64
+	// ScheduleDelay is the dispatch overhead from queue head to running
+	// task (seconds).
+	ScheduleDelay float64
+	// MaxSimSeconds aborts runaway simulations; 0 means no limit.
+	MaxSimSeconds float64
+	// HostMTBF enables whole-host failures: the cluster experiences one
+	// host crash on average every HostMTBF seconds (exponential
+	// inter-crash times, uniformly chosen victim). All tasks on the
+	// crashed host are immediately restarted on other hosts from their
+	// most recent checkpoints, per the paper's liveness-thread design.
+	// 0 disables host failures.
+	HostMTBF float64
+	// HostRepair is the downtime before a crashed host rejoins
+	// (default 600 s).
+	HostRepair float64
+	// Predictor supplies the planned productive length per task (the
+	// paper's job-parser workload prediction). nil means exact lengths.
+	// Execution always uses the true length; only the checkpoint plan
+	// sees the prediction.
+	Predictor Predictor
+	// NonBlockingCheckpoints performs checkpoint writes in a separate
+	// thread (Algorithm 1 line 7): the task keeps computing while the
+	// image is written, so the write cost is hidden from the task's
+	// wall-clock; the saved position lags until the write completes, and
+	// a failure mid-write rolls back to the previous completed image.
+	NonBlockingCheckpoints bool
+}
+
+// Predictor estimates a task's productive length for planning.
+// It matches predict.Predictor without importing it, keeping the engine
+// free of a dependency cycle.
+type Predictor interface {
+	Name() string
+	Predict(t *trace.Task) float64
+}
+
+// withDefaults fills zero fields with the paper's testbed values.
+func (c Config) withDefaults() Config {
+	if c.Hosts == 0 {
+		c.Hosts = 32
+	}
+	if c.HostMemMB == 0 {
+		c.HostMemMB = 7 * 1024
+	}
+	if c.SharedKind == storage.KindLocal {
+		c.SharedKind = storage.KindDMNFS
+	}
+	if c.Limits == nil {
+		c.Limits = trace.DefaultLengthLimits
+	}
+	if c.DetectionDelay == 0 {
+		c.DetectionDelay = 0.5
+	}
+	if c.ScheduleDelay == 0 {
+		c.ScheduleDelay = 0.2
+	}
+	if c.HostRepair == 0 {
+		c.HostRepair = 600
+	}
+	return c
+}
+
+// Run executes the trace under the configuration and returns per-job
+// results. The estimator, when EstimatePriority is selected, is built
+// from the same trace's failure history (the paper estimates MNOF/MTBF
+// from the trace it replays).
+func Run(cfg Config, tr *trace.Trace) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("engine: Config.Policy is required")
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+
+	var est *core.HistoryEstimator
+	if cfg.Estimates == EstimatePriority {
+		est = trace.BuildEstimator(tr, cfg.Limits)
+	}
+	return runWithEstimator(cfg, tr, est)
+}
+
+// RunWithEstimator is Run with a caller-provided history estimator,
+// allowing history to come from a different (training) trace.
+func RunWithEstimator(cfg Config, tr *trace.Trace, est *core.HistoryEstimator) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("engine: Config.Policy is required")
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return runWithEstimator(cfg, tr, est)
+}
+
+type engineState struct {
+	cfg    Config
+	sim    *simeng.Simulator
+	cl     *cluster.Cluster
+	local  storage.Backend
+	shared storage.Backend
+	est    *core.HistoryEstimator
+	queue  cluster.PendingQueue[*taskRun]
+	runs   map[string]*taskRun
+	result *Result
+	// dispatchPending coalesces dispatch passes within one event time.
+	dispatchPending bool
+	// hostRNG drives host-crash victim selection and inter-crash times.
+	hostRNG *simeng.RNG
+}
+
+// armHostFailure schedules the next whole-host crash. The chain
+// re-arms only while other simulation work remains, so the simulation
+// still terminates.
+func (e *engineState) armHostFailure() {
+	gap := e.hostRNG.ExpFloat64() * e.cfg.HostMTBF
+	e.sim.Schedule(e.sim.Now()+gap, func() {
+		if e.sim.Pending() == 0 {
+			return // all workload finished; let the simulation drain
+		}
+		victim := e.hostRNG.Intn(e.cl.Hosts())
+		e.crashHost(victim)
+		e.armHostFailure()
+	})
+}
+
+// crashHost marks a host down, interrupts every task placed on it, and
+// schedules the repair.
+func (e *engineState) crashHost(hostID int) {
+	e.cl.SetAlive(hostID, false)
+	now := e.sim.Now()
+	// Collect first: interrupt mutates e.runs placements via requeueing.
+	var victims []*taskRun
+	for _, run := range e.runs {
+		if run.placement.Active() && run.placement.HostID == hostID {
+			victims = append(victims, run)
+		}
+	}
+	// Deterministic order: map iteration is randomized.
+	sortRunsByTaskID(victims)
+	for _, run := range victims {
+		run.interrupt(now)
+	}
+	e.sim.Schedule(now+e.cfg.HostRepair, func() {
+		e.cl.SetAlive(hostID, true)
+		e.scheduleDispatch()
+	})
+}
+
+func sortRunsByTaskID(runs []*taskRun) {
+	sort.Slice(runs, func(i, j int) bool { return runs[i].task.ID < runs[j].task.ID })
+}
+
+func runWithEstimator(cfg Config, tr *trace.Trace, est *core.HistoryEstimator) (*Result, error) {
+	rng := simeng.NewRNG(cfg.Seed)
+	e := &engineState{
+		cfg:    cfg,
+		sim:    simeng.NewSimulator(),
+		cl:     cluster.New(cfg.Hosts, cfg.HostMemMB),
+		local:  storage.NewLocalRamdisk(rng.Split()),
+		est:    est,
+		runs:   make(map[string]*taskRun),
+		result: &Result{PolicyName: cfg.Policy.Name()},
+	}
+	if cfg.SharedKind == storage.KindNFS {
+		e.shared = storage.NewNFS(rng.Split())
+	} else {
+		e.shared = storage.NewDMNFS(rng.Split(), cfg.Hosts)
+	}
+
+	for _, job := range tr.Jobs {
+		job := job
+		jr := &JobResult{Job: job}
+		e.result.Jobs = append(e.result.Jobs, jr)
+		e.sim.Schedule(job.ArrivalSec, func() { e.onJobArrival(job, jr) })
+	}
+
+	if cfg.HostMTBF > 0 {
+		e.hostRNG = rng.Split()
+		e.armHostFailure()
+	}
+
+	if cfg.MaxSimSeconds > 0 {
+		e.sim.RunUntil(cfg.MaxSimSeconds)
+		if e.sim.Pending() > 0 {
+			return nil, fmt.Errorf("engine: simulation exceeded %v seconds with %d events pending",
+				cfg.MaxSimSeconds, e.sim.Pending())
+		}
+	} else {
+		e.sim.Run()
+	}
+
+	for _, jr := range e.result.Jobs {
+		if len(jr.Tasks) != len(jr.Job.Tasks) {
+			return nil, fmt.Errorf("engine: job %s finished %d/%d tasks",
+				jr.Job.ID, len(jr.Tasks), len(jr.Job.Tasks))
+		}
+	}
+	// Makespan is the last job completion; the raw event clock may run
+	// later (host-repair events after the workload drained).
+	for _, jr := range e.result.Jobs {
+		if jr.DoneAt > e.result.MakespanSec {
+			e.result.MakespanSec = jr.DoneAt
+		}
+	}
+	e.result.Events = e.sim.Fired()
+	return e.result, nil
+}
+
+func (e *engineState) onJobArrival(job *trace.Job, jr *JobResult) {
+	switch job.Structure {
+	case trace.BagOfTasks:
+		for _, t := range job.Tasks {
+			e.submitTask(t, jr)
+		}
+	case trace.Sequential:
+		e.submitTask(job.Tasks[0], jr)
+	}
+}
+
+func (e *engineState) submitTask(t *trace.Task, jr *JobResult) {
+	run := newTaskRun(e, t, jr, e.sim.Now())
+	e.runs[t.ID] = run
+	e.queue.PushFresh(run)
+	e.scheduleDispatch()
+}
+
+// scheduleDispatch coalesces dispatch work to the end of the current
+// event timestamp (priority 10 sorts after regular events at the same
+// time), so releases happening "now" are visible before placement.
+func (e *engineState) scheduleDispatch() {
+	if e.dispatchPending {
+		return
+	}
+	e.dispatchPending = true
+	e.sim.SchedulePriority(e.sim.Now(), 10, func() {
+		e.dispatchPending = false
+		e.dispatch()
+	})
+}
+
+func (e *engineState) dispatch() {
+	for {
+		run, ok := e.queue.PopWhere(func(r *taskRun) bool {
+			return e.cl.AcquirePreview(r.task.MemMB, r.excludeHost)
+		})
+		if !ok {
+			return
+		}
+		p := e.cl.AcquireExcluding(run.task.MemMB, run.excludeHost)
+		if p == nil {
+			// Lost a race within this dispatch pass; requeue and stop.
+			e.queue.PushRestart(run)
+			return
+		}
+		run.start(p, e.sim.Now()+e.cfg.ScheduleDelay)
+	}
+}
+
+// onTaskDone records a completed task, frees resources, advances ST
+// chains, and triggers dispatch.
+func (e *engineState) onTaskDone(run *taskRun) {
+	jr := run.jobResult
+	jr.Tasks = append(jr.Tasks, run.result)
+	if run.result.DoneAt > jr.DoneAt {
+		jr.DoneAt = run.result.DoneAt
+	}
+	delete(e.runs, run.task.ID)
+
+	if jr.Job.Structure == trace.Sequential {
+		next := run.task.Index + 1
+		if next < len(jr.Job.Tasks) {
+			e.submitTask(jr.Job.Tasks[next], jr)
+		}
+	}
+	e.scheduleDispatch()
+}
+
+// estimateFor produces the failure Estimate a policy sees for a task.
+func (e *engineState) estimateFor(t *trace.Task) core.Estimate {
+	if e.cfg.Estimates == EstimateOracle {
+		return oracleEstimate(t)
+	}
+	if e.est == nil {
+		return core.Estimate{}
+	}
+	return trace.EstimateFor(e.est, t, e.cfg.Limits)
+}
+
+// estimateForPriority returns the group estimate a task would get if it
+// had the given priority (used on mid-run priority changes).
+func (e *engineState) estimateForPriority(t *trace.Task, priority int) core.Estimate {
+	if e.cfg.Estimates == EstimateOracle {
+		// The oracle already knows the switched process; re-derive.
+		return oracleEstimate(t)
+	}
+	if e.est == nil {
+		return core.Estimate{}
+	}
+	probe := *t
+	probe.Priority = priority
+	return trace.EstimateFor(e.est, &probe, e.cfg.Limits)
+}
+
+// oracleEstimate previews the task's own failure process — which is
+// deterministic given its seed — over a horizon slightly beyond its
+// productive length, and returns the realized statistics: the paper's
+// "precise prediction" of MNOF and MTBF.
+func oracleEstimate(t *trace.Task) core.Estimate {
+	proc := trace.NewFailureProcess(t)
+	horizon := t.LengthSec
+	var (
+		count     int
+		sum, prev float64
+	)
+	cursor := 0.0
+	for {
+		next := proc.NextAfter(cursor)
+		if math.IsInf(next, 1) || next > horizon {
+			break
+		}
+		count++
+		sum += next - prev
+		prev = next
+		cursor = next
+	}
+	est := core.Estimate{MNOF: float64(count)}
+	if count > 0 {
+		est.MTBF = sum / float64(count)
+	}
+	return est
+}
+
+// chooseBackend applies the configured storage mode for one task.
+func (e *engineState) chooseBackend(t *trace.Task, est core.Estimate) storage.Backend {
+	switch e.cfg.Mode {
+	case StorageLocal:
+		return e.local
+	case StorageShared:
+		return e.shared
+	}
+	costs := core.StorageCosts{
+		Cl: storage.CheckpointCost(storage.KindLocal, t.MemMB),
+		Rl: storage.RestartCostFor(storage.KindLocal, t.MemMB),
+		Cs: storage.CheckpointCost(e.shared.Kind(), t.MemMB),
+		Rs: storage.RestartCostFor(e.shared.Kind(), t.MemMB),
+	}
+	mnof := est.MNOF
+	if mnof <= 0 && est.MTBF > 0 {
+		mnof = core.MNOFFromMTBF(t.LengthSec, est.MTBF)
+	}
+	if mnof <= 0 {
+		// No failure expectation: checkpointing cost dominates; local
+		// is never worse.
+		return e.local
+	}
+	choice, _, _ := core.CompareStorage(t.LengthSec, mnof, costs)
+	if choice == core.ChooseLocal {
+		return e.local
+	}
+	return e.shared
+}

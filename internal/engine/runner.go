@@ -1,0 +1,436 @@
+package engine
+
+import (
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/simeng"
+	"repro/internal/storage"
+	"repro/internal/trace"
+)
+
+// taskRun is the per-task execution state machine. Its timeline mixes
+// productive progress with fault-tolerance overheads exactly as the
+// paper's Formula 1 decomposes wall-clock time: productive time, plus
+// C per checkpoint, plus (rollback + R) per failure, plus waiting.
+//
+// Failures are exogenous: the task's failure process generates absolute
+// wall-clock offsets since the task first started, independent of what
+// the task is doing at those instants (running, checkpointing, or
+// restarting).
+type taskRun struct {
+	eng       *engineState
+	task      *trace.Task
+	jobResult *JobResult
+	result    *TaskResult
+
+	proc    failure.Process
+	backend storage.Backend
+	est     core.Estimate
+
+	// planner state (the Algorithm 1 controller, generalized to any
+	// Policy; for MNOFPolicy it matches core.Adaptive step for step).
+	ckptCost   float64 // planning constant C for the chosen backend
+	plannedLen float64 // predicted productive length (= LengthSec if exact)
+	remaining  float64 // planned productive seconds left to the task end
+	w0         float64 // current checkpoint spacing (productive seconds)
+	intervals  int     // remaining interval count
+
+	progress float64 // productive seconds completed since task entry
+	saved    float64 // productive seconds preserved by the last checkpoint
+
+	started      bool
+	changeFired  bool
+	excludeHost  int // host to avoid on (re)placement, -1 = none
+	placement    *cluster.Placement
+	waitingSince float64
+	hasImage     bool
+
+	// pending is the task's next scheduled simulation event; external
+	// interruptions (host crashes) cancel it before rolling the task
+	// back. cleanup releases an in-flight storage operation if the task
+	// is interrupted mid-checkpoint.
+	pending *simeng.Event
+	cleanup func()
+	// computing marks that the pending event ends a productive segment
+	// that started at wall time segWall with progress segProgress, so an
+	// external interruption can account the partial work correctly.
+	computing   bool
+	segWall     float64
+	segProgress float64
+
+	// nextCkpt is the productive position of the next planned
+	// checkpoint (+Inf when none). writes tracks non-blocking
+	// checkpoint writes still in flight.
+	nextCkpt float64
+	writes   []*inflightWrite
+}
+
+// inflightWrite is a checkpoint image being written concurrently with
+// computation (Algorithm 1 line 7).
+type inflightWrite struct {
+	event      *simeng.Event
+	release    func()
+	progressAt float64
+	cost       float64
+	done       bool
+}
+
+// cancelWrites aborts all in-flight non-blocking writes (failure or
+// host crash): their images never complete.
+func (r *taskRun) cancelWrites() {
+	for _, w := range r.writes {
+		if !w.done {
+			w.event.Cancel()
+			w.release()
+			w.done = true
+		}
+	}
+	r.writes = r.writes[:0]
+}
+
+// schedule registers the task's single next event, remembering it so an
+// external interruption can cancel it.
+func (r *taskRun) schedule(at float64, fn func()) {
+	r.pending = r.eng.sim.Schedule(at, fn)
+}
+
+// interrupt preempts the task from outside its own event chain (host
+// crash): the next scheduled event is canceled, any in-flight
+// checkpoint is released, partial productive work since the segment
+// start is accounted, and the task rolls back and requeues.
+func (r *taskRun) interrupt(now float64) {
+	r.pending.Cancel()
+	r.pending = nil
+	if r.cleanup != nil {
+		r.cleanup()
+		r.cleanup = nil
+	}
+	if r.computing {
+		r.progress = r.segProgress + (now - r.segWall)
+		r.computing = false
+	}
+	r.failAndRequeue(now)
+}
+
+func newTaskRun(e *engineState, t *trace.Task, jr *JobResult, now float64) *taskRun {
+	est := e.estimateFor(t)
+	run := &taskRun{
+		eng:          e,
+		task:         t,
+		jobResult:    jr,
+		result:       &TaskResult{Task: t, SubmitAt: now},
+		est:          est,
+		excludeHost:  -1,
+		waitingSince: now,
+	}
+	run.backend = e.chooseBackend(t, est)
+	run.result.UsedShared = run.backend.Kind() != storage.KindLocal
+	run.ckptCost = storage.CheckpointCost(run.backend.Kind(), t.MemMB)
+	run.plannedLen = t.LengthSec
+	if e.cfg.Predictor != nil {
+		run.plannedLen = e.cfg.Predictor.Predict(t)
+		if run.plannedLen < 1 {
+			run.plannedLen = 1
+		}
+	}
+	run.remaining = run.plannedLen
+	run.replan(est)
+	return run
+}
+
+// replan recomputes the equidistant plan for the remaining workload from
+// the given estimate, the Algorithm 1 lines 3-4 / 10-12 step.
+func (r *taskRun) replan(est core.Estimate) {
+	// Scale a whole-task estimate to the remaining planned workload.
+	scaled := est
+	if r.plannedLen > 0 {
+		scaled.MNOF = est.MNOF * r.remaining / r.plannedLen
+	}
+	x := r.eng.cfg.Policy.Intervals(r.remaining, r.ckptCost, scaled)
+	x = core.ClampIntervals(x, r.remaining, r.ckptCost)
+	r.intervals = x
+	if r.remaining > 0 {
+		r.w0 = r.remaining / float64(x)
+	} else {
+		r.w0 = 0
+	}
+	if r.intervals > 1 {
+		r.nextCkpt = r.progress + r.w0
+	} else {
+		r.nextCkpt = math.Inf(1)
+	}
+}
+
+// start begins (or resumes) execution on a granted placement at time
+// `at` (dispatch adds the scheduling delay before work begins).
+func (r *taskRun) start(p *cluster.Placement, at float64) {
+	r.placement = p
+	now := r.eng.sim.Now()
+	r.result.WaitTime += now - r.waitingSince
+	if !r.started {
+		r.started = true
+		r.result.StartAt = at
+		r.proc = trace.NewFailureProcess(r.task)
+	} else if r.hasImage {
+		// Restore from the checkpoint image: restart cost by migration
+		// type (Table 5 via the backend that holds the image).
+		restart := r.backend.RestartCost(r.task.MemMB)
+		r.result.RestartCost += restart
+		at += restart
+	}
+	// With no image yet the task relaunches from scratch (progress is
+	// already rolled back to zero); only the scheduling delay applies.
+	r.schedule(at, r.step)
+}
+
+// wallSinceStart converts the current simulation time into the task's
+// failure-process clock.
+func (r *taskRun) wallSinceStart() float64 {
+	return r.eng.sim.Now() - r.result.StartAt
+}
+
+// nextFailureAbs returns the absolute simulation time of the next
+// failure event after `now`.
+func (r *taskRun) nextFailureAbs(now float64) float64 {
+	rel := r.proc.NextAfter(now - r.result.StartAt)
+	if math.IsInf(rel, 1) {
+		return math.Inf(1)
+	}
+	return r.result.StartAt + rel
+}
+
+// step runs the task from the current instant to its next milestone:
+// priority change, checkpoint, completion — or a failure preempting any
+// of them. Exactly one follow-up event is scheduled per invocation.
+func (r *taskRun) step() {
+	now := r.eng.sim.Now()
+
+	// Next productive milestone.
+	changeAt := math.Inf(1)
+	if r.task.Change.Active() && !r.changeFired {
+		changeAt = r.task.LengthSec * r.task.Change.AtFraction
+	}
+	ckptAt := r.nextCkpt
+	if r.intervals <= 1 {
+		ckptAt = math.Inf(1)
+	}
+	milestone := math.Min(r.task.LengthSec, math.Min(changeAt, ckptAt))
+	if milestone < r.progress {
+		// A missed milestone (e.g. change point behind current progress
+		// after a replan) fires immediately.
+		milestone = r.progress
+	}
+	eventAt := now + (milestone - r.progress)
+
+	// Mark the productive segment so an external interruption can
+	// account partial work done before it fired.
+	r.computing = true
+	r.segWall = now
+	r.segProgress = r.progress
+
+	if fail := r.nextFailureAbs(now); fail < eventAt {
+		// The task computes from now until the failure strikes; that
+		// partial progress is lost to the rollback unless checkpointed.
+		progressAtFail := r.progress + (fail - now)
+		r.schedule(fail, func() {
+			r.computing = false
+			r.progress = progressAtFail
+			r.failAndRequeue(r.eng.sim.Now())
+		})
+		return
+	}
+
+	r.schedule(eventAt, func() {
+		r.computing = false
+		r.progress = milestone
+		switch {
+		case milestone == r.task.LengthSec:
+			r.complete()
+		case milestone == changeAt:
+			r.onPriorityChange()
+		case r.eng.cfg.NonBlockingCheckpoints:
+			r.startAsyncCheckpoint()
+			r.step()
+		default:
+			r.beginCheckpoint()
+		}
+	})
+}
+
+// failAndRequeue rolls the task back to its last checkpoint, releases
+// its VM, and requeues it for restart on another host.
+func (r *taskRun) failAndRequeue(now float64) {
+	lost := r.progress - r.saved
+	if lost < 0 {
+		lost = 0
+	}
+	r.result.Failures++
+	r.result.RollbackLoss += lost
+	r.progress = r.saved
+	// In-flight non-blocking writes never complete; their images are
+	// lost with the VM.
+	r.cancelWrites()
+	// remaining tracks Te - saved (un-checkpointed work), which the
+	// rollback does not change, and Theorem 2 keeps the plan's spacing
+	// and positions fixed (the next position is re-derived from the
+	// preserved spacing) — nothing to recompute here.
+	if r.intervals > 1 {
+		r.nextCkpt = r.saved + r.w0
+	} else {
+		r.nextCkpt = math.Inf(1)
+	}
+
+	failedHost := -1
+	if r.placement != nil {
+		failedHost = r.placement.HostID
+		r.eng.cl.Release(r.placement)
+		r.placement = nil
+	}
+	r.excludeHost = failedHost
+	if r.eng.cl.Hosts() == 1 {
+		// With a single host there is no "other host"; allow same-host
+		// restart rather than deadlocking the task.
+		r.excludeHost = -1
+	}
+	r.waitingSince = now + r.eng.cfg.DetectionDelay
+
+	// The polling thread detects the interruption after the detection
+	// delay, then the task re-enters the queue's restart lane.
+	r.eng.sim.Schedule(now+r.eng.cfg.DetectionDelay, func() {
+		r.eng.queue.PushRestart(r)
+		r.eng.scheduleDispatch()
+	})
+	r.eng.scheduleDispatch()
+}
+
+// onPriorityChange fires when productive progress crosses the change
+// point: the failure distribution already switched (the process was
+// built with the switch); the dynamic algorithm additionally re-reads
+// MNOF and replans (Algorithm 1 lines 9-12), while the static variant
+// keeps its original plan — the Figure 14 comparison.
+func (r *taskRun) onPriorityChange() {
+	r.changeFired = true
+	if r.eng.cfg.Dynamic {
+		newEst := r.eng.estimateForPriority(r.task, r.task.Change.NewPriority)
+		r.est = newEst
+		r.replan(newEst)
+	}
+	r.step()
+}
+
+// beginCheckpoint writes a checkpoint image; a failure arriving before
+// the write finishes destroys the in-progress image and rolls back to
+// the previous one.
+func (r *taskRun) beginCheckpoint() {
+	now := r.eng.sim.Now()
+	hostID := 0
+	if r.placement != nil {
+		hostID = r.placement.HostID
+	}
+	cost, release := r.backend.Begin(hostID, r.task.MemMB)
+	doneAt := now + cost
+	r.cleanup = release
+
+	if fail := r.nextFailureAbs(now); fail < doneAt {
+		// Failure mid-checkpoint: the write never completes.
+		r.schedule(fail, func() {
+			release()
+			r.cleanup = nil
+			r.failAndRequeue(r.eng.sim.Now())
+		})
+		return
+	}
+	r.schedule(doneAt, func() {
+		release()
+		r.cleanup = nil
+		r.saved = r.progress
+		r.hasImage = true
+		r.result.Checkpoints++
+		r.result.CheckpointCost += cost
+		r.remaining = r.plannedLen - r.saved
+		if r.remaining < 0 {
+			// An under-predicting parser: the task has outrun its plan;
+			// keep checkpointing at the last spacing.
+			r.remaining = r.w0
+		}
+		if r.intervals > 1 {
+			r.intervals--
+		} else if r.progress < r.task.LengthSec-r.w0 {
+			// The plan is exhausted but real work remains (the predictor
+			// under-estimated): extend the plan by one interval at the
+			// current spacing.
+			r.intervals = 2
+		}
+		if r.intervals > 1 {
+			r.nextCkpt = r.saved + r.w0
+		} else {
+			r.nextCkpt = math.Inf(1)
+		}
+		r.step()
+	})
+}
+
+// startAsyncCheckpoint launches a checkpoint write in a separate thread
+// (Algorithm 1 line 7): the caller continues computing immediately; the
+// image becomes restorable only when the write completes. The plan
+// advances at write start, so the countdown to the next checkpoint is
+// not blocked by the write.
+func (r *taskRun) startAsyncCheckpoint() {
+	now := r.eng.sim.Now()
+	hostID := 0
+	if r.placement != nil {
+		hostID = r.placement.HostID
+	}
+	cost, release := r.backend.Begin(hostID, r.task.MemMB)
+	w := &inflightWrite{release: release, progressAt: r.progress, cost: cost}
+	w.event = r.eng.sim.Schedule(now+cost, func() {
+		w.done = true
+		release()
+		if w.progressAt > r.saved {
+			r.saved = w.progressAt
+			r.hasImage = true
+		}
+		r.result.Checkpoints++
+		r.result.HiddenCheckpointCost += cost
+		r.remaining = r.plannedLen - r.saved
+		if r.remaining < 0 {
+			r.remaining = r.w0
+		}
+	})
+	// Purge completed writes, then record the new one.
+	live := r.writes[:0]
+	for _, old := range r.writes {
+		if !old.done {
+			live = append(live, old)
+		}
+	}
+	r.writes = append(live, w)
+
+	// Advance the plan exactly as the blocking path does.
+	if r.intervals > 1 {
+		r.intervals--
+	} else if r.progress < r.task.LengthSec-r.w0 {
+		r.intervals = 2
+	}
+	if r.intervals > 1 {
+		r.nextCkpt = r.progress + r.w0
+	} else {
+		r.nextCkpt = math.Inf(1)
+	}
+}
+
+// complete finishes the task.
+func (r *taskRun) complete() {
+	now := r.eng.sim.Now()
+	r.result.DoneAt = now
+	// In-flight async writes are moot once the task has finished.
+	r.cancelWrites()
+	if r.placement != nil {
+		r.eng.cl.Release(r.placement)
+		r.placement = nil
+	}
+	r.eng.onTaskDone(r)
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import "testing"
+
+func TestAblationPredictionShape(t *testing.T) {
+	res, err := AblationPrediction(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("got %d predictor rows", len(res.Rows))
+	}
+	byName := make(map[string]PredictionRow, len(res.Rows))
+	for _, row := range res.Rows {
+		byName[row.Predictor] = row
+	}
+	exact, ok := byName["exact"]
+	if !ok {
+		t.Fatal("missing exact row")
+	}
+	if exact.MARE != 0 {
+		t.Fatalf("exact parser MARE = %v", exact.MARE)
+	}
+	// Moderate noise (sigma=0.3, predictions typically within ~1.35x)
+	// must cost only a few points: interval counts scale with sqrt(Te),
+	// so errors enter under a square root.
+	mild, ok := byName["noisy(0.3)"]
+	if !ok {
+		t.Fatal("missing mild-noise row")
+	}
+	if exact.WPRF3-mild.WPRF3 > 0.07 {
+		t.Errorf("Formula 3 too sensitive to mild prediction noise: %v -> %v",
+			exact.WPRF3, mild.WPRF3)
+	}
+	// Degradation must be monotone in prediction error across the noise
+	// ladder (rows are sorted by MARE).
+	prevWPR := 2.0
+	for _, row := range res.Rows {
+		if row.Predictor == "exact" || row.Predictor[:4] == "regr" {
+			continue
+		}
+		if row.WPRF3 > prevWPR+0.02 {
+			t.Errorf("WPR not (weakly) decreasing with prediction error: %+v", res.Rows)
+		}
+		prevWPR = row.WPRF3
+	}
+	// The trained regression parser must be close to exact.
+	for name, row := range byName {
+		if len(name) >= 10 && name[:10] == "regression" {
+			if row.MARE > 0.3 {
+				t.Errorf("regression parser MARE = %v", row.MARE)
+			}
+			if exact.WPRF3-row.WPRF3 > 0.03 {
+				t.Errorf("regression parser costs too much WPR: %v vs %v",
+					row.WPRF3, exact.WPRF3)
+			}
+		}
+	}
+}
+
+func TestAblationNonBlockingShape(t *testing.T) {
+	res, err := AblationNonBlocking(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WPRNonBlocking < res.WPRBlocking-0.005 {
+		t.Errorf("non-blocking WPR %v below blocking %v", res.WPRNonBlocking, res.WPRBlocking)
+	}
+	if res.HiddenCost <= 0 || res.Checkpoints <= 0 {
+		t.Errorf("no overlapped write time recorded: %+v", res)
+	}
+	if res.BlockingCost <= 0 {
+		t.Errorf("no blocking write time recorded: %+v", res)
+	}
+}
+
+func TestAblationHostFailuresShape(t *testing.T) {
+	res, err := AblationHostFailures(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	// Checkpointing must dominate no-checkpointing at every crash rate,
+	// and the unprotected WPR must fall as crashes become frequent.
+	for _, row := range res.Rows {
+		if row.WPRF3 <= row.WPRNone {
+			t.Errorf("hostMTBF=%v: F3 (%v) not above None (%v)",
+				row.HostMTBFSec, row.WPRF3, row.WPRNone)
+		}
+	}
+	quiet := res.Rows[0]  // host failures off
+	crashy := res.Rows[3] // most frequent crashes
+	if crashy.WPRNone >= quiet.WPRNone {
+		t.Errorf("unprotected WPR did not degrade with crashes: %v -> %v",
+			quiet.WPRNone, crashy.WPRNone)
+	}
+	if crashy.FailuresF3 <= quiet.FailuresF3 {
+		t.Errorf("failure counts did not grow with crashes: %d -> %d",
+			quiet.FailuresF3, crashy.FailuresF3)
+	}
+}

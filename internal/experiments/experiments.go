@@ -1,0 +1,134 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 4 characterization and Section 5 performance
+// study). Each experiment is a function from options to a printable
+// result struct; all are deterministic given Opts.Seed.
+//
+// The registry maps experiment ids ("fig9", "table6", ...) to runners
+// so the cloudsim CLI and the benchmark harness share one entry point.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/trace"
+)
+
+// Opts parameterizes an experiment run.
+type Opts struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// Jobs scales trace-driven experiments; 0 selects each experiment's
+	// default (sized to finish in seconds on a laptop).
+	Jobs int
+}
+
+func (o Opts) jobs(def int) int {
+	if o.Jobs > 0 {
+		return o.Jobs
+	}
+	return def
+}
+
+// Runner executes one experiment.
+type Runner func(Opts) (fmt.Stringer, error)
+
+// Registry maps experiment ids to runners, in the paper's order.
+var Registry = map[string]Runner{
+	"fig4":   func(o Opts) (fmt.Stringer, error) { return Fig4(o) },
+	"fig5":   func(o Opts) (fmt.Stringer, error) { return Fig5(o) },
+	"fig7":   func(o Opts) (fmt.Stringer, error) { return Fig7(o) },
+	"fig8":   func(o Opts) (fmt.Stringer, error) { return Fig8(o) },
+	"fig9":   func(o Opts) (fmt.Stringer, error) { return Fig9(o) },
+	"fig10":  func(o Opts) (fmt.Stringer, error) { return Fig10(o) },
+	"fig11":  func(o Opts) (fmt.Stringer, error) { return Fig11(o) },
+	"fig12":  func(o Opts) (fmt.Stringer, error) { return Fig12(o) },
+	"fig13":  func(o Opts) (fmt.Stringer, error) { return Fig13(o) },
+	"fig14":  func(o Opts) (fmt.Stringer, error) { return Fig14(o) },
+	"table2": func(o Opts) (fmt.Stringer, error) { return Table2(o) },
+	"table3": func(o Opts) (fmt.Stringer, error) { return Table3(o) },
+	"table4": func(o Opts) (fmt.Stringer, error) { return Table4(o) },
+	"table5": func(o Opts) (fmt.Stringer, error) { return Table5(o) },
+	"table6": func(o Opts) (fmt.Stringer, error) { return Table6(o) },
+	"table7": func(o Opts) (fmt.Stringer, error) { return Table7(o) },
+
+	"ablation-daly":        func(o Opts) (fmt.Stringer, error) { return AblationDaly(o) },
+	"ablation-storage":     func(o Opts) (fmt.Stringer, error) { return AblationStorage(o) },
+	"ablation-theorem2":    func(o Opts) (fmt.Stringer, error) { return AblationTheorem2(o) },
+	"ablation-prediction":  func(o Opts) (fmt.Stringer, error) { return AblationPrediction(o) },
+	"ablation-hostfail":    func(o Opts) (fmt.Stringer, error) { return AblationHostFailures(o) },
+	"ablation-nonblocking": func(o Opts) (fmt.Stringer, error) { return AblationNonBlocking(o) },
+}
+
+// Names returns the registered experiment ids in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(Registry))
+	for k := range Registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes a registered experiment by id.
+func Run(id string, o Opts) (fmt.Stringer, error) {
+	r, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, Names())
+	}
+	return r(o)
+}
+
+// runBothFormulas executes the same trace under Formula 3 and Young's
+// formula with priority-based estimation — the paper's headline
+// comparison setup shared by Figures 9-13.
+//
+// limits selects the estimation grouping: Figures 9-10 group by priority
+// over all jobs (pass unlimitedOnly), while Figures 11-13 estimate from
+// "corresponding short tasks based on priorities, in order to estimate
+// MTBF with as small errors as possible" (pass nil for the default
+// length-limit ladder).
+func runBothFormulas(o Opts, tr *trace.Trace, limits []float64) (f3, young *engine.Result, err error) {
+	if limits == nil {
+		limits = trace.DefaultLengthLimits
+	}
+	// Statistics come from the full trace (including the long-running
+	// service tier); the replayed workload is the batch jobs, as in the
+	// paper's sampled-job methodology.
+	est := trace.BuildEstimator(tr, limits)
+	replay := tr.BatchJobs()
+	f3, err = engine.RunWithEstimator(engine.Config{
+		Seed:   o.Seed,
+		Policy: core.MNOFPolicy{},
+		Limits: limits,
+	}, replay, est)
+	if err != nil {
+		return nil, nil, err
+	}
+	young, err = engine.RunWithEstimator(engine.Config{
+		Seed:   o.Seed,
+		Policy: core.YoungPolicy{},
+		Limits: limits,
+	}, replay, est)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f3, young, nil
+}
+
+// unlimitedOnly is the Figures 9-10 estimation grouping: by priority
+// only, no task-length stratification.
+var unlimitedOnly = []float64{math.Inf(1)}
+
+// shortTaskLimits is the Figures 11-13 estimation grouping. The paper
+// estimates MTBF and MNOF "using corresponding short tasks based on
+// priorities"; in the Google data even short-task MTBF is badly
+// inflated by the Pareto tail. In this synthetic substrate a fully
+// tight (<= 1000 s) grouping would censor that tail away entirely, so
+// the restricted-length experiments group short tasks under the 1-hour
+// limit, which preserves the inflation the paper observed while still
+// excluding the service tier. See EXPERIMENTS.md for the discussion.
+var shortTaskLimits = []float64{3600, math.Inf(1)}

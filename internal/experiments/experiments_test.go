@@ -1,0 +1,390 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// small keeps test-scale runs fast; benchmarks use the defaults.
+var small = Opts{Seed: 20130601, Jobs: 500}
+
+func TestRegistryRunsEverything(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry sweep is not short")
+	}
+	for _, id := range Names() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id, Opts{Seed: 7, Jobs: 200})
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			out := res.String()
+			if len(out) < 20 {
+				t.Fatalf("%s: suspiciously short rendering %q", id, out)
+			}
+		})
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("fig99", small); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestFig4PriorityOrdering(t *testing.T) {
+	res, err := Fig4(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 4's shape: median uninterrupted interval grows with
+	// priority through the production tiers and collapses at 10.
+	if !(res.Medians[1] < res.Medians[6]) {
+		t.Errorf("median(p1)=%v should be below median(p6)=%v", res.Medians[1], res.Medians[6])
+	}
+	if !(res.Medians[10] < res.Medians[9]) {
+		t.Errorf("priority 10 median %v should be far below priority 9 %v",
+			res.Medians[10], res.Medians[9])
+	}
+}
+
+func TestFig5ParetoWinsExponentialRecoversShort(t *testing.T) {
+	res, err := Fig5(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFull != "Pareto" {
+		t.Errorf("best full-range fit = %q, paper says Pareto", res.BestFull)
+	}
+	if res.FracShort < 0.63 {
+		t.Errorf("fraction of short intervals = %v, paper reports > 0.63", res.FracShort)
+	}
+	fullExp, shortExp := res.Full["Exponential"], res.Short["Exponential"]
+	if fullExp.Err != nil || shortExp.Err != nil {
+		t.Fatal("exponential fit failed")
+	}
+	if shortExp.KS >= fullExp.KS {
+		t.Errorf("exponential KS short (%v) should improve on full (%v)", shortExp.KS, fullExp.KS)
+	}
+	if res.ShortLambda <= 0 {
+		t.Error("no fitted short lambda")
+	}
+}
+
+func TestFig7Monotonicity(t *testing.T) {
+	res, err := Fig7(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.MemSizesMB {
+		for j := 1; j < len(res.Checkpoints); j++ {
+			if res.LocalCost[i][j] <= res.LocalCost[i][j-1] {
+				t.Fatal("local cost not increasing in #checkpoints")
+			}
+			if res.NFSCost[i][j] <= res.NFSCost[i][j-1] {
+				t.Fatal("NFS cost not increasing in #checkpoints")
+			}
+		}
+		for j := range res.Checkpoints {
+			if res.NFSCost[i][j] <= res.LocalCost[i][j] {
+				t.Fatal("NFS not dearer than local")
+			}
+		}
+	}
+	// The paper's headline ranges at 5 checkpoints.
+	last := len(res.MemSizesMB) - 1
+	if res.LocalCost[last][4] < 4 || res.LocalCost[last][4] > 6 {
+		t.Errorf("local 240MB x5 = %v, paper plot tops near 5 s", res.LocalCost[last][4])
+	}
+}
+
+func TestTable2Shapes(t *testing.T) {
+	res, err := Table2(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, nfs := res.Rows["local ramdisk"], res.Rows["NFS"]
+	if len(local) != 5 || len(nfs) != 5 {
+		t.Fatal("missing degrees")
+	}
+	// Local stays flat; NFS at degree 5 is several times degree 1.
+	if local[4].Avg > 2*local[0].Avg {
+		t.Errorf("local ramdisk congested: %v -> %v", local[0].Avg, local[4].Avg)
+	}
+	if nfs[4].Avg < 3*nfs[0].Avg {
+		t.Errorf("NFS did not congest: %v -> %v", nfs[0].Avg, nfs[4].Avg)
+	}
+	for _, row := range append(local, nfs...) {
+		if !(row.Min <= row.Avg && row.Avg <= row.Max) {
+			t.Fatalf("min/avg/max ordering broken: %+v", row)
+		}
+	}
+}
+
+func TestTable3DMNFSBounded(t *testing.T) {
+	res, err := Table3(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows["DM-NFS"] {
+		if row.Avg > 2.0 {
+			t.Errorf("DM-NFS avg at degree %d = %v, paper bound is 2 s", row.Degree, row.Avg)
+		}
+	}
+}
+
+func TestTables4And5MatchAnchors(t *testing.T) {
+	t4, err := Table4(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t4.Cost[0] != 0.33 || t4.Cost[len(t4.Cost)-1] != 6.83 {
+		t.Errorf("Table 4 anchors: %v ... %v", t4.Cost[0], t4.Cost[len(t4.Cost)-1])
+	}
+	t5, err := Table5(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range t5.MemMB {
+		if t5.MigrationA[i] <= t5.MigrationB[i] {
+			t.Fatal("migration A must cost more than B")
+		}
+	}
+}
+
+func TestFig8PopulationsCovered(t *testing.T) {
+	res, err := Fig8(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"ST job", "BoT job", "mixture of both"} {
+		if len(res.MemCDF[name]) == 0 || len(res.LenCDF[name]) == 0 {
+			t.Fatalf("population %q missing curves", name)
+		}
+		if res.MedianMemMB[name] <= 0 || res.MedianLenSec[name] <= 0 {
+			t.Fatalf("population %q missing medians", name)
+		}
+	}
+}
+
+// The headline result: Formula 3 outperforms Young's formula with
+// priority-estimated statistics, for both job structures.
+func TestFig9HeadlineResult(t *testing.T) {
+	res, err := Fig9(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ST.AvgF3 <= res.ST.AvgYoung {
+		t.Errorf("ST: avg WPR F3 (%v) not above Young (%v)", res.ST.AvgF3, res.ST.AvgYoung)
+	}
+	if res.BoT.AvgF3 <= res.BoT.AvgYoung {
+		t.Errorf("BoT: avg WPR F3 (%v) not above Young (%v)", res.BoT.AvgF3, res.BoT.AvgYoung)
+	}
+	// Magnitude check: the gap should be visible (paper: 3-10%) but not
+	// absurd. Allow 0.5%..30% at test scale.
+	for _, c := range []WPRComparison{res.ST, res.BoT} {
+		gap := c.AvgF3 - c.AvgYoung
+		if gap < 0.005 || gap > 0.30 {
+			t.Errorf("%s: WPR gap %v outside the plausible band", c.Population, gap)
+		}
+	}
+}
+
+func TestFig10PerPriorityAdvantage(t *testing.T) {
+	res, err := Fig10(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ST)+len(res.BoT) == 0 {
+		t.Fatal("no priority rows")
+	}
+	// For almost all priorities the paper sees Formula 3 ahead; require
+	// a majority here (small samples are noisy per priority).
+	ahead, total := 0, 0
+	for _, rows := range [][]Fig10Row{res.ST, res.BoT} {
+		for _, row := range rows {
+			total++
+			if row.AvgF3 >= row.AvgYoung {
+				ahead++
+			}
+		}
+	}
+	if ahead*2 < total {
+		t.Errorf("Formula 3 ahead in only %d/%d priority cells", ahead, total)
+	}
+}
+
+func TestFig11RestrictedLengths(t *testing.T) {
+	res, err := Fig11(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no populations")
+	}
+	// Young must leave a larger fraction of jobs below WPR 0.9.
+	if res.FracBelow90Young < res.FracBelow90F3 {
+		t.Errorf("below-0.9 fractions inverted: F3 %v vs Young %v",
+			res.FracBelow90F3, res.FracBelow90Young)
+	}
+}
+
+func TestFig12YoungCostsWallClock(t *testing.T) {
+	res, err := Fig12(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.MeanIncrement <= 0 {
+			t.Errorf("RL=%v: Young's mean increment %v not positive", row.RL, row.MeanIncrement)
+		}
+	}
+}
+
+func TestFig13MajorityFasterUnderF3(t *testing.T) {
+	res, err := Fig13(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FracFasterF3 <= res.FracFasterYoung {
+		t.Errorf("faster-under-F3 fraction %v not above faster-under-Young %v",
+			res.FracFasterF3, res.FracFasterYoung)
+	}
+	if res.FracFasterF3 < 0.5 {
+		t.Errorf("only %v of jobs faster under Formula 3; paper reports ~70%%", res.FracFasterF3)
+	}
+}
+
+func TestFig14DynamicBeatsStatic(t *testing.T) {
+	res, err := Fig14(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgDynamic < res.AvgStatic {
+		t.Errorf("dynamic avg WPR %v below static %v", res.AvgDynamic, res.AvgStatic)
+	}
+	if res.WorstDynamic < res.WorstStatic-0.05 {
+		t.Errorf("dynamic worst WPR %v below static worst %v", res.WorstDynamic, res.WorstStatic)
+	}
+}
+
+func TestTable6OracleCoincidence(t *testing.T) {
+	res, err := Table6(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"BoT", "ST", "Mix"} {
+		c, ok := res.Rows[name]
+		if !ok {
+			t.Fatalf("missing population %s", name)
+		}
+		// With exact statistics both formulas do well and nearly
+		// coincide (paper: averages 0.937-0.960, differing by < 0.01).
+		if c.AvgF3 < 0.80 || c.AvgYoung < 0.80 {
+			t.Errorf("%s: oracle WPRs too low: F3 %v, Young %v", name, c.AvgF3, c.AvgYoung)
+		}
+		diff := c.AvgF3 - c.AvgYoung
+		if diff < -0.05 || diff > 0.08 {
+			t.Errorf("%s: oracle formulas diverge: F3 %v vs Young %v", name, c.AvgF3, c.AvgYoung)
+		}
+	}
+}
+
+func TestTable7MTBFInflation(t *testing.T) {
+	res, err := Table7(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group rows by priority across limits; the unlimited MTBF must be
+	// at least the short-task MTBF for the heavy-tailed priorities,
+	// while MNOF stays within a small factor.
+	byPriority := make(map[int][]Table7Row)
+	for _, row := range res.Rows {
+		byPriority[row.Priority] = append(byPriority[row.Priority], row)
+	}
+	for _, p := range []int{1, 2} {
+		rows := byPriority[p]
+		if len(rows) != 3 {
+			t.Fatalf("priority %d has %d limit rows", p, len(rows))
+		}
+		shortRow, allRow := rows[0], rows[2]
+		if allRow.MTBFMix < shortRow.MTBFMix {
+			t.Errorf("priority %d: unlimited MTBF %v below short MTBF %v",
+				p, allRow.MTBFMix, shortRow.MTBFMix)
+		}
+	}
+	// Priority 10 keeps its huge MNOF / tiny MTBF signature.
+	for _, row := range byPriority[10] {
+		if row.MNOFMix < 1 {
+			t.Errorf("priority 10 MNOF %v too low", row.MNOFMix)
+		}
+	}
+}
+
+func TestAblationDalyOrdering(t *testing.T) {
+	res, err := AblationDaly(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3 := res.AvgWPR["Formula(3)"]
+	none := res.AvgWPR["None"]
+	if f3 <= none {
+		t.Errorf("Formula 3 (%v) not above no-checkpointing (%v)", f3, none)
+	}
+	for _, name := range []string{"Young", "Daly"} {
+		if res.AvgWPR[name] <= none {
+			t.Errorf("%s (%v) not above no-checkpointing (%v)", name, res.AvgWPR[name], none)
+		}
+	}
+}
+
+func TestAblationStorageAutoCompetitive(t *testing.T) {
+	res, err := AblationStorage(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto := res.AvgWPR["auto (Sec. 4.2.2)"]
+	local := res.AvgWPR["always local"]
+	shared := res.AvgWPR["always shared"]
+	best := local
+	if shared > best {
+		best = shared
+	}
+	if auto < best-0.02 {
+		t.Errorf("auto rule (%v) clearly worse than best fixed mode (%v)", auto, best)
+	}
+	if res.SharedShare["always local"] != 0 || res.SharedShare["always shared"] != 1 {
+		t.Error("forced modes report wrong shared shares")
+	}
+}
+
+func TestAblationTheorem2NoDivergence(t *testing.T) {
+	res, err := AblationTheorem2(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlanDivergences != 0 {
+		t.Errorf("%d plan divergences between adaptive and naive controllers", res.PlanDivergences)
+	}
+	if res.SpacingMaxDeviation > 1e-6 {
+		t.Errorf("spacing deviation %v exceeds tolerance", res.SpacingMaxDeviation)
+	}
+	if res.RecomputesNaive <= res.RecomputesAdaptive {
+		t.Errorf("naive recomputations (%d) not above adaptive (%d)",
+			res.RecomputesNaive, res.RecomputesAdaptive)
+	}
+}
+
+func TestRenderingsMentionKeyTerms(t *testing.T) {
+	res, err := Fig9(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.String()
+	for _, term := range []string{"Formula (3)", "Young", "sequential-task", "bag-of-tasks"} {
+		if !strings.Contains(out, term) {
+			t.Errorf("Fig9 rendering missing %q:\n%s", term, out)
+		}
+	}
+}

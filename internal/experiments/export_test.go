@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestWriteCurvesCSVFormat(t *testing.T) {
+	cs := CurveSet{
+		"b": {{X: 1, Y: 0.5}, {X: 2, Y: 1}},
+		"a": {{X: 0, Y: 0}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCurvesCSV(&buf, cs); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 4 {
+		t.Fatalf("got %d records, want header + 3", len(records))
+	}
+	if strings.Join(records[0], ",") != "series,x,y" {
+		t.Fatalf("header = %v", records[0])
+	}
+	// Series sorted: a first.
+	if records[1][0] != "a" || records[2][0] != "b" || records[3][0] != "b" {
+		t.Fatalf("series order wrong: %v", records)
+	}
+	if records[2][1] != "1" || records[2][2] != "0.5" {
+		t.Fatalf("point encoding wrong: %v", records[2])
+	}
+}
+
+func TestFigureResultsImplementPlotter(t *testing.T) {
+	// Compile-time checks.
+	var _ Plotter = (*Fig4Result)(nil)
+	var _ Plotter = (*Fig8Result)(nil)
+	var _ Plotter = (*Fig9Result)(nil)
+	var _ Plotter = (*Fig11Result)(nil)
+	var _ Plotter = (*Fig13Result)(nil)
+	var _ Plotter = (*Fig14Result)(nil)
+}
+
+func TestFig9CurvesNonEmpty(t *testing.T) {
+	res, err := Fig9(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := res.Curves()
+	for _, name := range []string{"ST:Formula(3)", "ST:Young", "BoT:Formula(3)", "BoT:Young"} {
+		pts, ok := cs[name]
+		if !ok || len(pts) == 0 {
+			t.Fatalf("missing curve %q", name)
+		}
+		// CDF curves must be monotone in y.
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Y < pts[i-1].Y {
+				t.Fatalf("curve %q not monotone", name)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteCurvesCSV(&buf, cs); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < 100 {
+		t.Fatal("CSV suspiciously small")
+	}
+}
+
+func TestFig13CurvesFromRatios(t *testing.T) {
+	r := &Fig13Result{Ratios: []float64{0.8, 0.9, 1.0, 1.1}}
+	cs := r.Curves()
+	pts := cs["wall-ratio-F3-over-Young"]
+	if len(pts) == 0 {
+		t.Fatal("no ratio curve")
+	}
+	empty := &Fig13Result{}
+	if len(empty.Curves()) != 0 {
+		t.Fatal("empty result should have no curves")
+	}
+}
+
+func TestFig4CurvesNamedByPriority(t *testing.T) {
+	r := &Fig4Result{Points: map[int][]stats.Point{3: {{X: 1, Y: 1}}}}
+	cs := r.Curves()
+	if _, ok := cs["priority=3"]; !ok {
+		t.Fatalf("curve names: %v", cs)
+	}
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/tables"
+	"repro/internal/trace"
+)
+
+// AblationHostFailuresResult measures the policies under whole-host
+// crashes in addition to task-level failures — the cloud counterpart of
+// the paper's BlueGene/L motivation (a hard host failure every 7-10
+// days at 100k nodes scales to short MTBFs on any sizable cluster).
+type AblationHostFailuresResult struct {
+	// Rows: one per host-MTBF setting.
+	Rows []HostFailureRow
+}
+
+// HostFailureRow is one crash-rate configuration.
+type HostFailureRow struct {
+	HostMTBFSec float64 // 0 = no host failures
+	WPRF3       float64
+	WPRNone     float64
+	FailuresF3  int
+}
+
+// AblationHostFailures sweeps host crash rates and compares Formula 3
+// checkpointing against no checkpointing. Expected shape: the WPR of
+// unprotected jobs collapses as crashes become frequent, while
+// checkpointed jobs degrade slowly.
+func AblationHostFailures(o Opts) (*AblationHostFailuresResult, error) {
+	tr := trace.Generate(trace.DefaultGenConfig(o.Seed, o.jobs(800)))
+	est := trace.BuildEstimator(tr, trace.DefaultLengthLimits)
+	replay := tr.BatchJobs()
+
+	res := &AblationHostFailuresResult{}
+	for _, mtbf := range []float64{0, 5000, 1000, 300} {
+		f3, err := engine.RunWithEstimator(engine.Config{
+			Seed: o.Seed, Policy: core.MNOFPolicy{}, HostMTBF: mtbf,
+		}, replay, est)
+		if err != nil {
+			return nil, err
+		}
+		none, err := engine.RunWithEstimator(engine.Config{
+			Seed: o.Seed, Policy: core.NoCheckpointPolicy{}, HostMTBF: mtbf,
+		}, replay, est)
+		if err != nil {
+			return nil, err
+		}
+		row := HostFailureRow{
+			HostMTBFSec: mtbf,
+			WPRF3:       f3.MeanWPR(engine.WithFailures),
+			WPRNone:     none.MeanWPR(engine.WithFailures),
+		}
+		for _, jr := range f3.Jobs {
+			row.FailuresF3 += jr.Failures()
+		}
+		if err := finite(row.WPRF3, row.WPRNone); err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// String renders the crash-rate sweep.
+func (r *AblationHostFailuresResult) String() string {
+	t := &tables.Table{
+		Title:   "Ablation: whole-host crashes (failing jobs)",
+		Headers: []string{"host MTBF (s)", "avg WPR Formula(3)", "avg WPR None", "total failures (F3)"},
+	}
+	for _, row := range r.Rows {
+		label := "off"
+		if row.HostMTBFSec > 0 {
+			label = tables.FmtFloat(row.HostMTBFSec)
+		}
+		t.AddRow(label, tables.FmtFloat(row.WPRF3), tables.FmtFloat(row.WPRNone),
+			tables.FmtFloat(float64(row.FailuresF3)))
+	}
+	return t.String()
+}

@@ -1,0 +1,212 @@
+// Package failure models the failure/interruption processes that strike
+// cloud tasks: renewal processes over arbitrary interval distributions
+// (the paper's distribution-free setting), Poisson processes (the
+// exponential special case behind Young's formula), and processes whose
+// statistics switch mid-execution (the priority-change scenario of the
+// paper's dynamic-versus-static experiment, Figure 14).
+//
+// A Process produces an increasing sequence of absolute failure times
+// measured in wall-clock seconds since the task first started. Failures
+// are exogenous (kills, evictions, preemptions), so rollbacks and
+// restarts do not reset the process — exactly the cloud semantics the
+// paper assumes when arguing that checkpoint dates and failure events
+// are independent.
+package failure
+
+import (
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/simeng"
+)
+
+// Process yields the absolute times of failure events for one task.
+type Process interface {
+	// NextAfter returns the first failure time strictly greater than t,
+	// or +Inf if the process generates no further failures.
+	NextAfter(t float64) float64
+}
+
+// Renewal is a renewal process: failure times are cumulative sums of
+// i.i.d. intervals drawn from Dist. The draw sequence is deterministic
+// given the RNG seed, so repeated runs (e.g. the same task under two
+// policies) see identical failure times.
+type Renewal struct {
+	dist   dist.Distribution
+	rng    *simeng.RNG
+	times  []float64
+	cursor float64
+	maxGen int
+}
+
+// NewRenewal returns a renewal process over d driven by rng.
+func NewRenewal(d dist.Distribution, rng *simeng.RNG) *Renewal {
+	if d == nil || rng == nil {
+		panic("failure: NewRenewal requires a distribution and an RNG")
+	}
+	return &Renewal{dist: d, rng: rng, maxGen: 1 << 20}
+}
+
+// NextAfter implements Process.
+func (r *Renewal) NextAfter(t float64) float64 {
+	for r.cursor <= t {
+		if len(r.times) >= r.maxGen {
+			return math.Inf(1)
+		}
+		iv := r.dist.Sample(r.rng)
+		if iv < 0 {
+			iv = 0
+		}
+		// Guard against zero-length intervals stalling the process.
+		if iv < 1e-9 {
+			iv = 1e-9
+		}
+		r.cursor += iv
+		r.times = append(r.times, r.cursor)
+	}
+	// cursor is now the first generated time > t; but earlier generated
+	// times may also exceed t when NextAfter is called with decreasing t.
+	// Binary search the recorded times for correctness in that case.
+	lo, hi := 0, len(r.times)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.times[mid] <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(r.times) {
+		return r.times[lo]
+	}
+	return r.cursor
+}
+
+// Intervals returns the interval samples generated so far (for history
+// estimation in tests).
+func (r *Renewal) Intervals() []float64 {
+	out := make([]float64, len(r.times))
+	prev := 0.0
+	for i, t := range r.times {
+		out[i] = t - prev
+		prev = t
+	}
+	return out
+}
+
+// Poisson returns a renewal process with exponential intervals of the
+// given rate — the classical HPC failure model.
+func Poisson(rate float64, rng *simeng.RNG) *Renewal {
+	return NewRenewal(dist.NewExponential(rate), rng)
+}
+
+// Switching wraps two processes and a switch time: failures before
+// SwitchAt come from Before, failures after come from After (offset so
+// the second process starts fresh at the switch). It models a task
+// whose priority — and therefore failure distribution — changes at a
+// known execution point, the Figure 14 scenario.
+type Switching struct {
+	Before   Process
+	After    Process
+	SwitchAt float64
+}
+
+// NewSwitching returns a process that follows before until switchAt and
+// after (time-shifted to start at switchAt) thereafter.
+func NewSwitching(before, after Process, switchAt float64) *Switching {
+	if before == nil || after == nil {
+		panic("failure: NewSwitching requires both processes")
+	}
+	if switchAt < 0 {
+		panic("failure: NewSwitching requires switchAt >= 0")
+	}
+	return &Switching{Before: before, After: after, SwitchAt: switchAt}
+}
+
+// NextAfter implements Process.
+func (s *Switching) NextAfter(t float64) float64 {
+	if t < s.SwitchAt {
+		next := s.Before.NextAfter(t)
+		if next <= s.SwitchAt {
+			return next
+		}
+		// No pre-switch failure remains; fall through to the post-switch
+		// process starting at the switch point.
+		t = s.SwitchAt
+	}
+	// The subtraction t-SwitchAt can round down by an ulp, making the
+	// post-switch process re-report the failure at exactly t; nudge the
+	// query forward until the result strictly progresses.
+	u := t - s.SwitchAt
+	for {
+		next := s.SwitchAt + s.After.NextAfter(u)
+		if next > t {
+			return next
+		}
+		u = math.Nextafter(u, math.Inf(1))
+	}
+}
+
+// None is a Process that never fails.
+type None struct{}
+
+// NextAfter implements Process.
+func (None) NextAfter(t float64) float64 { return math.Inf(1) }
+
+// Fixed is a Process with a predetermined list of failure times; it is
+// used for replaying recorded traces and for deterministic tests.
+type Fixed struct {
+	Times []float64 // must be sorted ascending
+}
+
+// NextAfter implements Process.
+func (f Fixed) NextAfter(t float64) float64 {
+	lo, hi := 0, len(f.Times)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if f.Times[mid] <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(f.Times) {
+		return f.Times[lo]
+	}
+	return math.Inf(1)
+}
+
+// CountIn returns the number of failures in the half-open window
+// (from, to]; it is a convenience for history estimation.
+func CountIn(p Process, from, to float64) int {
+	count := 0
+	t := from
+	for {
+		next := p.NextAfter(t)
+		if math.IsInf(next, 1) || next > to {
+			return count
+		}
+		count++
+		t = next
+	}
+}
+
+// IntervalsIn returns the completed inter-failure intervals inside
+// (0, horizon]: the gaps between consecutive failures, with the leading
+// gap from 0 to the first failure included (it is an uninterrupted work
+// interval in the paper's sense). The trailing censored segment after
+// the last failure is excluded.
+func IntervalsIn(p Process, horizon float64) []float64 {
+	var out []float64
+	prev := 0.0
+	t := 0.0
+	for {
+		next := p.NextAfter(t)
+		if math.IsInf(next, 1) || next > horizon {
+			return out
+		}
+		out = append(out, next-prev)
+		prev = next
+		t = next
+	}
+}

@@ -1,0 +1,202 @@
+package failure
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+	"repro/internal/simeng"
+)
+
+func TestRenewalMonotoneTimes(t *testing.T) {
+	p := NewRenewal(dist.NewExponential(0.1), simeng.NewRNG(1))
+	prev := 0.0
+	for i := 0; i < 1000; i++ {
+		next := p.NextAfter(prev)
+		if next <= prev {
+			t.Fatalf("failure time %v not after %v", next, prev)
+		}
+		prev = next
+	}
+}
+
+func TestRenewalDeterministicAcrossRuns(t *testing.T) {
+	a := NewRenewal(dist.NewPareto(30, 1.1), simeng.NewRNG(42))
+	b := NewRenewal(dist.NewPareto(30, 1.1), simeng.NewRNG(42))
+	ta, tb := 0.0, 0.0
+	for i := 0; i < 500; i++ {
+		ta = a.NextAfter(ta)
+		tb = b.NextAfter(tb)
+		if ta != tb {
+			t.Fatalf("same-seed processes diverged at failure %d: %v vs %v", i, ta, tb)
+		}
+	}
+}
+
+func TestRenewalNextAfterIsIdempotentForSameT(t *testing.T) {
+	p := NewRenewal(dist.NewExponential(0.5), simeng.NewRNG(3))
+	first := p.NextAfter(10)
+	second := p.NextAfter(10)
+	if first != second {
+		t.Fatalf("NextAfter(10) changed between calls: %v vs %v", first, second)
+	}
+	// Querying an earlier time must return an earlier-or-equal failure.
+	earlier := p.NextAfter(0)
+	if earlier > first {
+		t.Fatalf("NextAfter(0) = %v after NextAfter(10) = %v", earlier, first)
+	}
+}
+
+func TestRenewalRateMatchesDistribution(t *testing.T) {
+	// Exponential with rate 0.01 -> about 100 failures in 10000 s.
+	p := Poisson(0.01, simeng.NewRNG(4))
+	n := CountIn(p, 0, 10000)
+	if n < 60 || n > 140 {
+		t.Fatalf("Poisson(0.01) produced %d failures in 10000 s, want ~100", n)
+	}
+}
+
+func TestSwitchingChangesRate(t *testing.T) {
+	// Low rate before t=1000, high rate after.
+	rng := simeng.NewRNG(5)
+	s := NewSwitching(
+		Poisson(0.001, rng.Split()),
+		Poisson(0.1, rng.Split()),
+		1000,
+	)
+	before := CountIn(s, 0, 1000)
+	after := CountIn(s, 1000, 2000)
+	if after < before*5+5 {
+		t.Fatalf("switching process: before=%d after=%d, expected sharp increase", before, after)
+	}
+}
+
+func TestSwitchingBoundary(t *testing.T) {
+	// A fixed pre-switch process with a failure exactly at the switch
+	// point: the failure must be reported, and post-switch queries use
+	// the second process.
+	s := NewSwitching(Fixed{Times: []float64{500, 999}}, Fixed{Times: []float64{1, 2}}, 1000)
+	if got := s.NextAfter(0); got != 500 {
+		t.Fatalf("first failure = %v, want 500", got)
+	}
+	if got := s.NextAfter(500); got != 999 {
+		t.Fatalf("second failure = %v, want 999", got)
+	}
+	// After 999 the Before process is exhausted below SwitchAt, so the
+	// next failures come from After, shifted by 1000.
+	if got := s.NextAfter(999); got != 1001 {
+		t.Fatalf("post-switch failure = %v, want 1001", got)
+	}
+	if got := s.NextAfter(1001); got != 1002 {
+		t.Fatalf("post-switch failure = %v, want 1002", got)
+	}
+}
+
+func TestNoneNeverFails(t *testing.T) {
+	var p None
+	if !math.IsInf(p.NextAfter(0), 1) || !math.IsInf(p.NextAfter(1e12), 1) {
+		t.Fatal("None produced a failure")
+	}
+}
+
+func TestFixedProcess(t *testing.T) {
+	p := Fixed{Times: []float64{10, 20, 30}}
+	if p.NextAfter(0) != 10 || p.NextAfter(10) != 20 || p.NextAfter(25) != 30 {
+		t.Fatal("Fixed returned wrong times")
+	}
+	if !math.IsInf(p.NextAfter(30), 1) {
+		t.Fatal("exhausted Fixed did not return +Inf")
+	}
+}
+
+func TestCountIn(t *testing.T) {
+	p := Fixed{Times: []float64{10, 20, 30, 40}}
+	if n := CountIn(p, 0, 25); n != 2 {
+		t.Fatalf("CountIn(0,25] = %d, want 2", n)
+	}
+	if n := CountIn(p, 10, 40); n != 3 {
+		t.Fatalf("CountIn(10,40] = %d, want 3 (10 itself excluded)", n)
+	}
+	if n := CountIn(p, 100, 200); n != 0 {
+		t.Fatalf("CountIn empty window = %d", n)
+	}
+}
+
+func TestIntervalsIn(t *testing.T) {
+	p := Fixed{Times: []float64{10, 25, 60}}
+	got := IntervalsIn(p, 100)
+	want := []float64{10, 15, 35}
+	if len(got) != len(want) {
+		t.Fatalf("IntervalsIn = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IntervalsIn = %v, want %v", got, want)
+		}
+	}
+	// Horizon before the last failure censors it.
+	if got := IntervalsIn(p, 59); len(got) != 2 {
+		t.Fatalf("censored IntervalsIn = %v, want 2 intervals", got)
+	}
+}
+
+func TestRenewalIntervalsAccessor(t *testing.T) {
+	p := NewRenewal(dist.NewExponential(1), simeng.NewRNG(6))
+	p.NextAfter(5) // force generation
+	ivs := p.Intervals()
+	if len(ivs) == 0 {
+		t.Fatal("no intervals recorded")
+	}
+	var sum float64
+	for _, iv := range ivs {
+		if iv <= 0 {
+			t.Fatalf("non-positive interval %v", iv)
+		}
+		sum += iv
+	}
+	if sum <= 5 {
+		t.Fatalf("cumulative intervals %v do not pass the queried time", sum)
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewRenewal(nil, simeng.NewRNG(1)) },
+		func() { NewRenewal(dist.NewExponential(1), nil) },
+		func() { NewSwitching(nil, None{}, 5) },
+		func() { NewSwitching(None{}, None{}, -1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: NextAfter always returns a value strictly greater than its
+// argument for renewal processes.
+func TestPropertyNextAfterStrictlyGreater(t *testing.T) {
+	p := NewRenewal(dist.NewPareto(10, 1.2), simeng.NewRNG(7))
+	f := func(raw uint32) bool {
+		q := float64(raw % 100000)
+		next := p.NextAfter(q)
+		return next > q
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRenewalNextAfter(b *testing.B) {
+	p := NewRenewal(dist.NewExponential(0.01), simeng.NewRNG(1))
+	t := 0.0
+	for i := 0; i < b.N; i++ {
+		t = p.NextAfter(t)
+	}
+}

@@ -1,0 +1,116 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func tasksFor(t *testing.T, n int) []*trace.Task {
+	t.Helper()
+	tr := trace.Generate(trace.DefaultGenConfig(31, n))
+	return tr.Tasks()
+}
+
+func TestExactPredictor(t *testing.T) {
+	for _, task := range tasksFor(t, 50) {
+		if got := (Exact{}).Predict(task); got != task.LengthSec {
+			t.Fatalf("Exact.Predict = %v, want %v", got, task.LengthSec)
+		}
+	}
+	if Evaluate(Exact{}, tasksFor(t, 50)) != 0 {
+		t.Fatal("Exact predictor has nonzero error")
+	}
+}
+
+func TestNoisyPredictorErrorScalesWithSigma(t *testing.T) {
+	tasks := tasksFor(t, 400)
+	small := Evaluate(Noisy{Sigma: 0.1}, tasks)
+	large := Evaluate(Noisy{Sigma: 0.8}, tasks)
+	if small <= 0 || large <= small {
+		t.Fatalf("noise error not increasing: sigma 0.1 -> %v, sigma 0.8 -> %v", small, large)
+	}
+	// Mean-one noise: predictions must be unbiased within tolerance.
+	var sumRatio float64
+	p := Noisy{Sigma: 0.4}
+	for _, task := range tasks {
+		sumRatio += p.Predict(task) / task.LengthSec
+	}
+	if mean := sumRatio / float64(len(tasks)); math.Abs(mean-1) > 0.1 {
+		t.Fatalf("noisy predictor biased: mean ratio %v", mean)
+	}
+}
+
+func TestNoisyDeterministicPerTask(t *testing.T) {
+	tasks := tasksFor(t, 20)
+	p := Noisy{Sigma: 0.5}
+	for _, task := range tasks {
+		if p.Predict(task) != p.Predict(task) {
+			t.Fatal("noisy prediction not deterministic")
+		}
+	}
+}
+
+func TestNoisyZeroSigmaIsExact(t *testing.T) {
+	task := tasksFor(t, 1)[0]
+	if got := (Noisy{}).Predict(task); got != task.LengthSec {
+		t.Fatalf("sigma=0 prediction %v != %v", got, task.LengthSec)
+	}
+}
+
+func TestRegressionLearnsQuadraticFeature(t *testing.T) {
+	tasks := tasksFor(t, 800)
+	train, test := tasks[:len(tasks)/2], tasks[len(tasks)/2:]
+	reg, err := TrainRegression(train, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mare := Evaluate(reg, test)
+	// The generator's feature noise is ~5% on sqrt(L), so ~10% on L;
+	// the regression should land near that floor.
+	if mare > 0.25 {
+		t.Fatalf("regression MARE = %v, want < 0.25", mare)
+	}
+	// And it must beat a badly noisy parser.
+	if noisy := Evaluate(Noisy{Sigma: 1.0}, test); mare >= noisy {
+		t.Fatalf("regression (%v) not better than sigma-1 noise (%v)", mare, noisy)
+	}
+}
+
+func TestRegressionFallsBackWithoutFeature(t *testing.T) {
+	tasks := tasksFor(t, 200)
+	reg, err := TrainRegression(tasks, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := &trace.Task{ID: "x", JobID: "x", Priority: 1, LengthSec: 123, MemMB: 10}
+	if got := reg.Predict(bare); got != 123 {
+		t.Fatalf("fallback prediction = %v, want true length", got)
+	}
+}
+
+func TestTrainRegressionErrors(t *testing.T) {
+	if _, err := TrainRegression(nil, 2); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	one := []*trace.Task{{ID: "a", JobID: "a", Priority: 1, LengthSec: 10, MemMB: 1, InputUnits: 3}}
+	if _, err := TrainRegression(one, 2); err == nil {
+		t.Fatal("underdetermined training set accepted")
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	if !math.IsNaN(Evaluate(Exact{}, nil)) {
+		t.Fatal("Evaluate on empty set should be NaN")
+	}
+}
+
+func TestPredictorNames(t *testing.T) {
+	if (Exact{}).Name() != "exact" {
+		t.Fatal("Exact name")
+	}
+	if (Noisy{Sigma: 0.5}).Name() != "noisy(0.5)" {
+		t.Fatalf("Noisy name = %q", Noisy{Sigma: 0.5}.Name())
+	}
+}

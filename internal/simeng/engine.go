@@ -1,0 +1,184 @@
+package simeng
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is simulated time in seconds since the start of the simulation.
+type Time = float64
+
+// Event is a scheduled callback in simulated time.
+type Event struct {
+	// At is the simulated time at which the event fires.
+	At Time
+	// Priority breaks ties between events scheduled at the same time;
+	// lower values fire first. Events with equal (At, Priority) fire in
+	// scheduling order (FIFO), which keeps runs deterministic.
+	Priority int
+	// Fn is the callback; it may schedule further events.
+	Fn func()
+
+	seq      uint64
+	index    int
+	canceled bool
+}
+
+// Cancel prevents a scheduled event from firing. Canceling an event that
+// already fired or was already canceled is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// Canceled reports whether the event was canceled.
+func (e *Event) Canceled() bool { return e != nil && e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	if h[i].Priority != h[j].Priority {
+		return h[i].Priority < h[j].Priority
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator is a discrete-event simulation kernel. It is single-threaded:
+// event callbacks run sequentially in timestamp order on the goroutine
+// that calls Run or Step.
+type Simulator struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	fired   uint64
+	running bool
+}
+
+// NewSimulator returns a simulator with the clock at zero.
+func NewSimulator() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events scheduled but not yet fired
+// (including canceled events not yet discarded).
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Schedule registers fn to run at absolute simulated time at.
+// Scheduling in the past (before Now) panics: it indicates a model bug.
+func (s *Simulator) Schedule(at Time, fn func()) *Event {
+	return s.SchedulePriority(at, 0, fn)
+}
+
+// SchedulePriority is Schedule with an explicit tie-breaking priority.
+func (s *Simulator) SchedulePriority(at Time, priority int, fn func()) *Event {
+	if math.IsNaN(at) {
+		panic("simeng: schedule at NaN time")
+	}
+	if at < s.now {
+		panic(fmt.Sprintf("simeng: schedule at %.9g before now %.9g", at, s.now))
+	}
+	e := &Event{At: at, Priority: priority, Fn: fn, seq: s.seq}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After registers fn to run delay seconds after the current time.
+func (s *Simulator) After(delay Time, fn func()) *Event {
+	if delay < 0 {
+		panic("simeng: negative delay")
+	}
+	return s.Schedule(s.now+delay, fn)
+}
+
+// Step executes the next non-canceled event and returns true, or returns
+// false if the queue is empty.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		s.now = e.At
+		s.fired++
+		e.Fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (s *Simulator) Run() {
+	s.running = true
+	for s.Step() {
+	}
+	s.running = false
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline (if the deadline is later than the last event).
+func (s *Simulator) RunUntil(deadline Time) {
+	for len(s.queue) > 0 {
+		// Peek: queue[0] is the earliest event.
+		if s.queue[0].At > deadline {
+			break
+		}
+		s.Step()
+	}
+	if deadline > s.now {
+		s.now = deadline
+	}
+}
+
+// RunLimit executes at most n events; it returns the number executed.
+// It is a safety valve for tests guarding against runaway models.
+func (s *Simulator) RunLimit(n uint64) uint64 {
+	var done uint64
+	for done < n && s.Step() {
+		done++
+	}
+	return done
+}
+
+// Reset drops all pending events and rewinds the clock to zero.
+func (s *Simulator) Reset() {
+	s.queue = nil
+	s.now = 0
+	s.seq = 0
+	s.fired = 0
+}

@@ -1,0 +1,104 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Headers: []string{"name", "value"},
+	}
+	tab.AddRow("alpha", "1")
+	tab.AddRow("beta", "22")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Errorf("header line = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "-") {
+		t.Errorf("separator line = %q", lines[2])
+	}
+	// Columns align: "alpha" is the widest cell in column 0.
+	if !strings.HasPrefix(lines[3], "alpha  1") {
+		t.Errorf("row line = %q", lines[3])
+	}
+	if !strings.HasPrefix(lines[4], "beta   22") {
+		t.Errorf("row line = %q", lines[4])
+	}
+}
+
+func TestTableNoTrailingSpaces(t *testing.T) {
+	tab := &Table{Headers: []string{"a", "bbbb"}}
+	tab.AddRow("x", "y")
+	for _, line := range strings.Split(tab.String(), "\n") {
+		if strings.HasSuffix(line, " ") {
+			t.Fatalf("trailing space in %q", line)
+		}
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tab := &Table{Headers: []string{"a"}}
+	tab.AddRow("1", "2", "3") // wider than headers
+	tab.AddRow("only")
+	out := tab.String()
+	if !strings.Contains(out, "3") || !strings.Contains(out, "only") {
+		t.Fatalf("ragged rows mangled:\n%s", out)
+	}
+}
+
+func TestTableNoHeaders(t *testing.T) {
+	tab := &Table{}
+	tab.AddRow("x")
+	out := tab.String()
+	if strings.Contains(out, "---") {
+		t.Fatal("separator rendered without headers")
+	}
+	if !strings.Contains(out, "x") {
+		t.Fatal("row missing")
+	}
+}
+
+func TestAddRowValues(t *testing.T) {
+	tab := &Table{Headers: []string{"v"}}
+	tab.AddRowValues(3.14159, 7, "s", float32(2.5))
+	out := tab.String()
+	for _, want := range []string{"3.142", "7", "s", "2.500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFmtFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:        "3",
+		-12:      "-12",
+		3.14159:  "3.142",
+		123.456:  "123.46",
+		0.001234: "1.23e-03",
+		0:        "0",
+	}
+	for in, want := range cases {
+		if got := FmtFloat(in); got != want {
+			t.Errorf("FmtFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if got := FmtSeconds(2.5); got != "2.500s" {
+		t.Errorf("FmtSeconds = %q", got)
+	}
+	if got := FmtPercent(0.1234); got != "12.3%" {
+		t.Errorf("FmtPercent = %q", got)
+	}
+}

@@ -1,0 +1,401 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func testTrace(t *testing.T, jobs int) *Trace {
+	t.Helper()
+	tr := Generate(DefaultGenConfig(1, jobs))
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("generated trace invalid: %v", err)
+	}
+	return tr
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultGenConfig(7, 100))
+	b := Generate(DefaultGenConfig(7, 100))
+	if len(a.Jobs) != len(b.Jobs) {
+		t.Fatal("job counts differ")
+	}
+	for i := range a.Jobs {
+		ja, jb := a.Jobs[i], b.Jobs[i]
+		if ja.ID != jb.ID || ja.ArrivalSec != jb.ArrivalSec || len(ja.Tasks) != len(jb.Tasks) {
+			t.Fatalf("job %d differs between same-seed runs", i)
+		}
+		for k := range ja.Tasks {
+			if *ja.Tasks[k] != *jb.Tasks[k] {
+				t.Fatalf("task %d.%d differs between same-seed runs", i, k)
+			}
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := Generate(DefaultGenConfig(1, 50))
+	b := Generate(DefaultGenConfig(2, 50))
+	same := 0
+	for i := range a.Jobs {
+		if a.Jobs[i].ArrivalSec == b.Jobs[i].ArrivalSec {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("%d/50 identical arrivals across different seeds", same)
+	}
+}
+
+func TestGenerateStructureMix(t *testing.T) {
+	tr := testTrace(t, 2000)
+	bot := 0
+	for _, j := range tr.Jobs {
+		if j.Structure == BagOfTasks {
+			bot++
+			if len(j.Tasks) < 2 {
+				t.Fatalf("BoT job %s has %d tasks", j.ID, len(j.Tasks))
+			}
+		}
+	}
+	frac := float64(bot) / float64(len(tr.Jobs))
+	if frac < 0.35 || frac > 0.55 {
+		t.Fatalf("BoT fraction = %v, want ~0.45", frac)
+	}
+}
+
+func TestGenerateArrivalsOrdered(t *testing.T) {
+	tr := testTrace(t, 500)
+	prev := 0.0
+	for _, j := range tr.Jobs {
+		if j.ArrivalSec < prev {
+			t.Fatal("arrivals not sorted")
+		}
+		prev = j.ArrivalSec
+	}
+	// Mean inter-arrival should approximate 1/rate.
+	rate := DefaultGenConfig(1, 1).ArrivalRate
+	meanGap := tr.Jobs[len(tr.Jobs)-1].ArrivalSec / float64(len(tr.Jobs))
+	if meanGap < 0.5/rate || meanGap > 2/rate {
+		t.Fatalf("mean inter-arrival %v, want ~%v", meanGap, 1/rate)
+	}
+}
+
+// Figure 8 calibration: most jobs short with small memory; memory within
+// [10, 1000] MB; lengths within [30 s, 6 h]; medians in the right decade.
+func TestGenerateFigure8Calibration(t *testing.T) {
+	// The experiment workload (batch jobs) matches Figure 8; the
+	// long-running service tier exists only to feed history statistics.
+	tr := testTrace(t, 3000).BatchJobs()
+	var lens, mems []float64
+	for _, task := range tr.Tasks() {
+		lens = append(lens, task.LengthSec)
+		mems = append(mems, task.MemMB)
+	}
+	ls, ms := stats.Summarize(lens), stats.Summarize(mems)
+	if ls.Min < 30 || ls.Max > 6*3600 {
+		t.Fatalf("length range [%v, %v] outside [30, 21600]", ls.Min, ls.Max)
+	}
+	if ms.Min < 10 || ms.Max > 1000 {
+		t.Fatalf("memory range [%v, %v] outside [10, 1000]", ms.Min, ms.Max)
+	}
+	if ls.Median < 150 || ls.Median > 900 {
+		t.Fatalf("median task length %v, want a few hundred seconds", ls.Median)
+	}
+	if ms.Median < 60 || ms.Median > 300 {
+		t.Fatalf("median memory %v MB, want ~100-200", ms.Median)
+	}
+}
+
+func TestGeneratePriorityMixSkipsEmptyTiers(t *testing.T) {
+	tr := testTrace(t, 2000)
+	counts := make(map[int]int)
+	for _, j := range tr.Jobs {
+		counts[j.Priority]++
+	}
+	for _, p := range []int{4, 8, 11, 12} {
+		if counts[p] != 0 {
+			t.Fatalf("priority %d should be absent (paper Figure 10), got %d jobs", p, counts[p])
+		}
+	}
+	for _, p := range []int{1, 2, 7, 10} {
+		if counts[p] == 0 {
+			t.Fatalf("priority %d absent; Table 7 priorities must be populated", p)
+		}
+	}
+}
+
+func TestGeneratePriorityChanges(t *testing.T) {
+	cfg := DefaultGenConfig(3, 500)
+	cfg.PriorityChangeFraction = 1.0
+	tr := Generate(cfg)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Priority flips apply to the batch workload; services keep theirs.
+	for _, task := range tr.BatchJobs().Tasks() {
+		if !task.Change.Active() {
+			t.Fatal("task missing priority change at fraction 1.0")
+		}
+		if task.Change.AtFraction != 0.5 {
+			t.Fatalf("change fraction = %v, want 0.5", task.Change.AtFraction)
+		}
+	}
+}
+
+func TestGeneratePanics(t *testing.T) {
+	cases := []GenConfig{
+		{NumJobs: 0, ArrivalRate: 1},
+		{NumJobs: 1, ArrivalRate: 0},
+		{NumJobs: 1, ArrivalRate: 1, BoTFraction: 2},
+		{NumJobs: 1, ArrivalRate: 1, MinTaskLength: 100, MaxTaskLength: 50},
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d did not panic", i)
+				}
+			}()
+			Generate(cfg)
+		}()
+	}
+}
+
+func TestRoundTripSerialization(t *testing.T) {
+	tr := testTrace(t, 100)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Jobs) != len(tr.Jobs) {
+		t.Fatalf("round trip lost jobs: %d vs %d", len(got.Jobs), len(tr.Jobs))
+	}
+	for i := range tr.Jobs {
+		a, b := tr.Jobs[i], got.Jobs[i]
+		if a.ID != b.ID || a.Structure != b.Structure || a.ArrivalSec != b.ArrivalSec {
+			t.Fatalf("job %d mismatch after round trip", i)
+		}
+		for k := range a.Tasks {
+			if *a.Tasks[k] != *b.Tasks[k] {
+				t.Fatalf("task %d.%d mismatch after round trip", i, k)
+			}
+		}
+	}
+}
+
+func TestReadRejectsInvalid(t *testing.T) {
+	if _, err := Read(bytes.NewBufferString(`{"id":"x","tasks":[]}`)); err == nil {
+		t.Fatal("empty-task job accepted")
+	}
+	if _, err := Read(bytes.NewBufferString(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestJobAggregates(t *testing.T) {
+	j := &Job{
+		ID:        "j",
+		Structure: BagOfTasks,
+		Tasks: []*Task{
+			{ID: "a", JobID: "j", Priority: 1, LengthSec: 100, MemMB: 50},
+			{ID: "b", JobID: "j", Priority: 1, LengthSec: 300, MemMB: 200},
+		},
+	}
+	if j.TotalLength() != 400 {
+		t.Fatalf("TotalLength = %v", j.TotalLength())
+	}
+	if j.CriticalPath() != 300 {
+		t.Fatalf("BoT CriticalPath = %v, want max", j.CriticalPath())
+	}
+	j.Structure = Sequential
+	if j.CriticalPath() != 400 {
+		t.Fatalf("ST CriticalPath = %v, want sum", j.CriticalPath())
+	}
+	if j.MaxMem() != 200 {
+		t.Fatalf("MaxMem = %v", j.MaxMem())
+	}
+}
+
+func TestValidationCatchesBadTasks(t *testing.T) {
+	bad := []*Task{
+		{ID: "a", JobID: "j", Priority: 0, LengthSec: 1, MemMB: 1},
+		{ID: "a", JobID: "j", Priority: 13, LengthSec: 1, MemMB: 1},
+		{ID: "a", JobID: "j", Priority: 1, LengthSec: 0, MemMB: 1},
+		{ID: "a", JobID: "j", Priority: 1, LengthSec: 1, MemMB: 0},
+		{ID: "a", JobID: "j", Priority: 1, LengthSec: 1, MemMB: 1,
+			Change: PriorityChange{AtFraction: 1.5, NewPriority: 2}},
+		{ID: "a", JobID: "j", Priority: 1, LengthSec: 1, MemMB: 1,
+			Change: PriorityChange{AtFraction: 0.5, NewPriority: 44}},
+	}
+	for i, task := range bad {
+		if err := task.Validate(); err == nil {
+			t.Errorf("bad task %d validated", i)
+		}
+	}
+}
+
+func TestIntervalDistPriorityScaling(t *testing.T) {
+	// Figure 4's qualitative claim within the production tiers: higher
+	// priority implies stochastically longer uninterrupted intervals.
+	for _, pair := range [][2]int{{1, 2}, {2, 3}, {5, 6}, {8, 9}, {11, 12}} {
+		lo := IntervalDist(pair[0]).Quantile(0.5)
+		hi := IntervalDist(pair[1]).Quantile(0.5)
+		if hi <= lo {
+			t.Errorf("median interval for priority %d (%v) not above priority %d (%v)",
+				pair[1], hi, pair[0], lo)
+		}
+	}
+	// Priority 10's monitoring anomaly: far shorter intervals than 9.
+	if IntervalDist(10).Quantile(0.5) >= IntervalDist(9).Quantile(0.5)/4 {
+		t.Error("priority 10 must be drastically more interrupted than 9")
+	}
+}
+
+func TestIntervalDistPanics(t *testing.T) {
+	for _, p := range []int{0, 13, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("priority %d accepted", p)
+				}
+			}()
+			IntervalDist(p)
+		}()
+	}
+}
+
+func TestNewFailureProcessDeterministic(t *testing.T) {
+	task := &Task{ID: "t", JobID: "j", Priority: 2, LengthSec: 1000, MemMB: 100, FailureSeed: 99}
+	a, b := NewFailureProcess(task), NewFailureProcess(task)
+	ta, tb := 0.0, 0.0
+	for i := 0; i < 100; i++ {
+		ta, tb = a.NextAfter(ta), b.NextAfter(tb)
+		if ta != tb {
+			t.Fatal("same-task failure processes diverged")
+		}
+	}
+}
+
+func TestNewFailureProcessSwitchesOnPriorityChange(t *testing.T) {
+	// Change from rarely-failing priority 9 to the monitoring tier 10
+	// mid-task: the second half must see far more failures.
+	task := &Task{
+		ID: "t", JobID: "j", Priority: 9, LengthSec: 20000, MemMB: 100,
+		FailureSeed: 5,
+		Change:      PriorityChange{AtFraction: 0.5, NewPriority: 10},
+	}
+	proc := NewFailureProcess(task)
+	first, second := 0, 0
+	cursor := 0.0
+	for {
+		next := proc.NextAfter(cursor)
+		if next > task.LengthSec {
+			break
+		}
+		if next <= task.LengthSec/2 {
+			first++
+		} else {
+			second++
+		}
+		cursor = next
+	}
+	if second < first*2 {
+		t.Fatalf("failures before/after switch = %d/%d, want sharp increase", first, second)
+	}
+}
+
+func TestBuildEstimatorTable7Shape(t *testing.T) {
+	tr := testTrace(t, 3000)
+	est := BuildEstimator(tr, DefaultLengthLimits)
+
+	// Priority 10 (monitoring) must show high MNOF and tiny MTBF for
+	// short tasks, like Table 7's MNOF 11.9 / MTBF 37.
+	k10 := core.GroupKey(10, 0)
+	if est.Tasks(k10) == 0 {
+		t.Fatal("no priority-10 short tasks observed")
+	}
+	if est.MNOF(k10) < 2 {
+		t.Errorf("priority-10 short-task MNOF = %v, want >> 1", est.MNOF(k10))
+	}
+	if est.MTBF(k10) > 200 {
+		t.Errorf("priority-10 short-task MTBF = %v, want small", est.MTBF(k10))
+	}
+
+	// Unlimited-length MTBF must exceed short-task MTBF for the heavy
+	// tail priorities (the Table 7 inflation).
+	for _, p := range []int{1, 2} {
+		short := est.MTBF(core.GroupKey(p, 0))
+		all := est.MTBF(core.GroupKey(p, 2))
+		if short == 0 || all == 0 {
+			continue
+		}
+		if all < short {
+			t.Errorf("priority %d: unlimited MTBF %v below short MTBF %v", p, all, short)
+		}
+	}
+}
+
+func TestEstimateForFallsBack(t *testing.T) {
+	tr := testTrace(t, 500)
+	est := BuildEstimator(tr, DefaultLengthLimits)
+	task := &Task{ID: "x", JobID: "x", Priority: 2, LengthSec: 800, MemMB: 50, FailureSeed: 1}
+	e := EstimateFor(est, task, DefaultLengthLimits)
+	if e.MNOF == 0 && e.MTBF == 0 {
+		t.Fatal("no estimate for well-populated priority")
+	}
+}
+
+func TestFailureIntervalSamplesShape(t *testing.T) {
+	tr := testTrace(t, 1000)
+	all := FailureIntervalSamples(tr, 0)
+	short := FailureIntervalSamples(tr, 1000)
+	if len(all) == 0 || len(short) == 0 {
+		t.Fatal("no interval samples")
+	}
+	if len(short) >= len(all) {
+		t.Fatal("short filter did not reduce samples")
+	}
+	// The paper: a large majority (over 63%) of intervals are short.
+	frac := float64(len(short)) / float64(len(all))
+	if frac < 0.63 {
+		t.Errorf("fraction of intervals <= 1000 s = %v, paper reports > 0.63", frac)
+	}
+	for _, iv := range short {
+		if iv > 1000 {
+			t.Fatal("short filter leaked a long interval")
+		}
+	}
+}
+
+func TestFailureIntervalsByPriority(t *testing.T) {
+	byP := FailureIntervalsByPriority(42, 100000, 500)
+	if len(byP) != 12 {
+		t.Fatalf("got %d priorities", len(byP))
+	}
+	// Medians should rise from priority 1 to 6 (Figure 4a ordering).
+	med := func(p int) float64 {
+		xs := byP[p]
+		if len(xs) == 0 {
+			return math.NaN()
+		}
+		return stats.Quantile(xs, 0.5)
+	}
+	if !(med(1) < med(6)) {
+		t.Errorf("median intervals: priority 1 (%v) should be below priority 6 (%v)", med(1), med(6))
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Generate(DefaultGenConfig(uint64(i), 1000))
+	}
+}
