@@ -3,9 +3,19 @@
 //
 //	cloudsim -exp fig9 -seed 1 -jobs 2000
 //
-// or everything:
+// everything, fanned across cores:
 //
-//	cloudsim -exp all
+//	cloudsim -exp all -parallel 8
+//
+// or a named scenario from the registry:
+//
+//	cloudsim -scenario spot-market
+//
+// Experiment results go to stdout in the paper's order and are
+// byte-identical for every -parallel value; timings and errors go to
+// stderr. With -exp all, failures of individual experiments are
+// collected rather than aborting the run, and the process exits
+// non-zero at the end if any occurred.
 package main
 
 import (
@@ -15,48 +25,133 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/scenario"
+	"repro/internal/sweep"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		seed   = flag.Uint64("seed", 20130601, "random seed; identical seeds reproduce runs exactly")
-		jobs   = flag.Int("jobs", 0, "trace size for trace-driven experiments (0 = per-experiment default)")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		csvDir = flag.String("csv", "", "directory to write plottable curve data (CDFs) as <exp>.csv")
+		exp      = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		seed     = flag.Uint64("seed", 20130601, "random seed; identical seeds reproduce runs exactly")
+		jobs     = flag.Int("jobs", 0, "trace size for trace-driven experiments (0 = per-experiment default)")
+		parallel = flag.Int("parallel", 0, "worker-pool size for sweeps and -exp all (0 = GOMAXPROCS); output is identical for every value")
+		scName   = flag.String("scenario", "", "run a registered scenario by name instead of an experiment (see -list)")
+		list     = flag.Bool("list", false, "list experiment ids and scenario names, then exit")
+		csvDir   = flag.String("csv", "", "directory to write plottable curve data (CDFs) as <exp>.csv")
 	)
 	flag.Parse()
 
 	if *list {
+		fmt.Println("experiments (paper order, ablations last):")
 		for _, id := range experiments.Names() {
-			fmt.Println(id)
+			fmt.Printf("  %s\n", id)
+		}
+		fmt.Println("scenarios (run with -scenario <name>):")
+		for _, name := range scenario.Names() {
+			sc, _ := scenario.Get(name)
+			fmt.Printf("  %-22s %s\n", name, sc.Description)
 		}
 		return
+	}
+
+	if *scName != "" {
+		os.Exit(runScenario(*scName, *seed, *jobs, *parallel))
 	}
 
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.Names()
 	}
-	opts := experiments.Opts{Seed: *seed, Jobs: *jobs}
-	for _, id := range ids {
-		start := time.Now()
-		res, err := experiments.Run(id, opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "cloudsim: %s: %v\n", id, err)
-			os.Exit(1)
+	// -parallel bounds the number of concurrent engine runs. With one
+	// experiment the inner scenario sweep owns the whole pool; with
+	// several, the fan-out happens across experiments and each sweep
+	// runs serially, so concurrency never exceeds the requested bound.
+	workers := sweep.Workers(*parallel)
+	inner := 1
+	if len(ids) == 1 {
+		inner = workers
+	}
+	opts := experiments.Opts{Seed: *seed, Jobs: *jobs, Parallel: inner}
+
+	// Results land in index-addressed slots, so stdout order — and
+	// content — never depends on timing.
+	type expOutcome struct {
+		result  fmt.Stringer
+		elapsed time.Duration
+		err     error
+	}
+	start := time.Now()
+	outcomes, _ := sweep.Map(len(ids), workers, func(i int) (expOutcome, error) {
+		t0 := time.Now()
+		res, err := experiments.Run(ids[i], opts)
+		return expOutcome{result: res, elapsed: time.Since(t0), err: err}, nil
+	})
+
+	expFailures, csvFailures := 0, 0
+	for i, id := range ids {
+		out := outcomes[i]
+		if out.err != nil {
+			expFailures++
+			fmt.Fprintf(os.Stderr, "cloudsim: %s failed after %.1fs: %v\n", id, out.elapsed.Seconds(), out.err)
+			continue
 		}
-		fmt.Printf("=== %s (%.1fs) ===\n%s\n", id, time.Since(start).Seconds(), res)
+		fmt.Fprintf(os.Stderr, "cloudsim: %s finished in %.1fs\n", id, out.elapsed.Seconds())
+		fmt.Printf("=== %s ===\n%s\n", id, out.result)
 		if *csvDir != "" {
-			if plotter, ok := res.(experiments.Plotter); ok {
+			if plotter, ok := out.result.(experiments.Plotter); ok {
 				if err := writeCSV(*csvDir, id, plotter); err != nil {
-					fmt.Fprintf(os.Stderr, "cloudsim: %s: %v\n", id, err)
-					os.Exit(1)
+					csvFailures++
+					fmt.Fprintf(os.Stderr, "cloudsim: %s: csv: %v\n", id, err)
 				}
 			}
 		}
 	}
+	fmt.Fprintf(os.Stderr, "cloudsim: %d/%d experiments succeeded, total wall time %.1fs (parallel=%d)\n",
+		len(ids)-expFailures, len(ids), time.Since(start).Seconds(), workers)
+	if csvFailures > 0 {
+		fmt.Fprintf(os.Stderr, "cloudsim: %d csv exports failed\n", csvFailures)
+	}
+	if expFailures+csvFailures > 0 {
+		os.Exit(1)
+	}
+}
+
+// runScenario executes one registered scenario through the sweep layer
+// and prints a summary; it returns the process exit code.
+func runScenario(name string, seed uint64, jobs, parallel int) int {
+	sc, ok := scenario.Get(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "cloudsim: unknown scenario %q (known: %v)\n", name, scenario.Names())
+		return 1
+	}
+	start := time.Now()
+	outs := sweep.Scenarios([]sweep.Run{sweep.Pin(sc, seed)}, sweep.Options{
+		BaseSeed:    seed,
+		DefaultJobs: jobs,
+		Workers:     parallel,
+	})
+	out := outs[0]
+	if out.Err != nil {
+		fmt.Fprintf(os.Stderr, "cloudsim: scenario %s: %v\n", name, out.Err)
+		return 1
+	}
+	res := out.Result
+	fmt.Printf("scenario %s (seed %d)\n", sc.Name, out.Seed)
+	if sc.Description != "" {
+		fmt.Printf("  %s\n", sc.Description)
+	}
+	fmt.Printf("policy %s: %d jobs replayed, makespan %.0f s, %d events\n",
+		res.PolicyName, len(res.Jobs), res.MakespanSec, res.Events)
+	var failures int
+	for _, jr := range res.Jobs {
+		failures += jr.Failures()
+	}
+	fmt.Printf("failures %d, mean WPR %.4f (all jobs), %.4f (failing jobs)\n",
+		failures, res.MeanWPR(nil), res.MeanWPR(engine.WithFailures))
+	fmt.Fprintf(os.Stderr, "cloudsim: scenario %s finished in %.1fs\n", name, time.Since(start).Seconds())
+	return 0
 }
 
 func writeCSV(dir, id string, p experiments.Plotter) error {

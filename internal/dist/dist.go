@@ -1,0 +1,366 @@
+// Package dist implements the probability distributions the paper fits
+// to task failure intervals (Section 4, Figure 5) — exponential,
+// Pareto, normal, Laplace, and geometric — plus the log-normal the
+// synthetic trace generator draws task lengths and memory sizes from.
+//
+// Every family is a small value type exposing its parameters as public
+// fields, a deterministic Sample driven by a simeng.RNG stream, and the
+// CDF/log-density the fitting layer (fit.go) needs for maximum-
+// likelihood estimation and Kolmogorov-Smirnov model selection.
+package dist
+
+import (
+	"math"
+
+	"repro/internal/simeng"
+)
+
+// Distribution is a univariate probability distribution over (a subset
+// of) the real line. Implementations are immutable value types, so a
+// Distribution can be shared freely across goroutines; only the RNG
+// passed to Sample carries mutable state.
+type Distribution interface {
+	// Name returns the family name used in fit tables ("Pareto", ...).
+	Name() string
+	// Sample draws one value using the provided RNG stream.
+	Sample(r *simeng.RNG) float64
+	// CDF returns P(X <= x).
+	CDF(x float64) float64
+	// LogPDF returns the log-density (or log-mass for discrete
+	// families) at x; -Inf outside the support.
+	LogPDF(x float64) float64
+	// Mean returns the distribution mean, +Inf when it diverges (the
+	// heavy-tailed Pareto regime central to the paper's argument).
+	Mean() float64
+	// Quantile returns the p-quantile (inverse CDF) for p in [0, 1];
+	// Quantile(1) may be +Inf on unbounded supports.
+	Quantile(p float64) float64
+}
+
+// checkQuantileArg panics on a quantile argument outside [0, 1].
+func checkQuantileArg(p float64) {
+	if !(p >= 0 && p <= 1) {
+		panic("dist: Quantile requires p in [0,1]")
+	}
+}
+
+// Exponential is the memoryless family behind Young's formula:
+// intervals with rate Lambda (mean 1/Lambda).
+type Exponential struct {
+	Lambda float64
+}
+
+// NewExponential returns an exponential distribution with the given
+// rate. It panics if lambda is not positive.
+func NewExponential(lambda float64) Exponential {
+	if !(lambda > 0) {
+		panic("dist: NewExponential requires lambda > 0")
+	}
+	return Exponential{Lambda: lambda}
+}
+
+// Name implements Distribution.
+func (Exponential) Name() string { return "Exponential" }
+
+// Sample implements Distribution.
+func (d Exponential) Sample(r *simeng.RNG) float64 { return r.ExpFloat64() / d.Lambda }
+
+// CDF implements Distribution.
+func (d Exponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Expm1(-d.Lambda * x)
+}
+
+// LogPDF implements Distribution.
+func (d Exponential) LogPDF(x float64) float64 {
+	if x < 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(d.Lambda) - d.Lambda*x
+}
+
+// Mean implements Distribution.
+func (d Exponential) Mean() float64 { return 1 / d.Lambda }
+
+// Quantile implements Distribution.
+func (d Exponential) Quantile(p float64) float64 {
+	checkQuantileArg(p)
+	return -math.Log1p(-p) / d.Lambda
+}
+
+// Pareto is the heavy-tailed family the paper finds for Google failure
+// intervals (Figure 5a): support [Xm, +Inf), tail exponent Alpha. For
+// Alpha <= 1 the mean diverges — the regime in which the sample MTBF is
+// dominated by rare huge intervals.
+type Pareto struct {
+	Xm    float64
+	Alpha float64
+}
+
+// NewPareto returns a Pareto distribution with scale xm and tail index
+// alpha. It panics unless both are positive.
+func NewPareto(xm, alpha float64) Pareto {
+	if !(xm > 0) || !(alpha > 0) {
+		panic("dist: NewPareto requires xm > 0 and alpha > 0")
+	}
+	return Pareto{Xm: xm, Alpha: alpha}
+}
+
+// Name implements Distribution.
+func (Pareto) Name() string { return "Pareto" }
+
+// Sample implements Distribution.
+func (d Pareto) Sample(r *simeng.RNG) float64 {
+	return d.Xm * math.Pow(r.Float64Open(), -1/d.Alpha)
+}
+
+// CDF implements Distribution.
+func (d Pareto) CDF(x float64) float64 {
+	if x <= d.Xm {
+		return 0
+	}
+	return 1 - math.Pow(d.Xm/x, d.Alpha)
+}
+
+// LogPDF implements Distribution.
+func (d Pareto) LogPDF(x float64) float64 {
+	if x < d.Xm {
+		return math.Inf(-1)
+	}
+	return math.Log(d.Alpha) + d.Alpha*math.Log(d.Xm) - (d.Alpha+1)*math.Log(x)
+}
+
+// Mean implements Distribution.
+func (d Pareto) Mean() float64 {
+	if d.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return d.Alpha * d.Xm / (d.Alpha - 1)
+}
+
+// Quantile implements Distribution.
+func (d Pareto) Quantile(p float64) float64 {
+	checkQuantileArg(p)
+	return d.Xm * math.Pow(1-p, -1/d.Alpha)
+}
+
+// Normal is the Gaussian family with mean Mu and standard deviation
+// Sigma.
+type Normal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// NewNormal returns a normal distribution; it panics unless sigma > 0.
+func NewNormal(mu, sigma float64) Normal {
+	if !(sigma > 0) {
+		panic("dist: NewNormal requires sigma > 0")
+	}
+	return Normal{Mu: mu, Sigma: sigma}
+}
+
+// Name implements Distribution.
+func (Normal) Name() string { return "Normal" }
+
+// Sample implements Distribution.
+func (d Normal) Sample(r *simeng.RNG) float64 { return d.Mu + d.Sigma*r.NormFloat64() }
+
+// CDF implements Distribution.
+func (d Normal) CDF(x float64) float64 {
+	return 0.5 * math.Erfc(-(x-d.Mu)/(d.Sigma*math.Sqrt2))
+}
+
+// LogPDF implements Distribution.
+func (d Normal) LogPDF(x float64) float64 {
+	z := (x - d.Mu) / d.Sigma
+	return -0.5*z*z - math.Log(d.Sigma) - 0.5*math.Log(2*math.Pi)
+}
+
+// Mean implements Distribution.
+func (d Normal) Mean() float64 { return d.Mu }
+
+// Quantile implements Distribution.
+func (d Normal) Quantile(p float64) float64 {
+	checkQuantileArg(p)
+	return d.Mu + d.Sigma*math.Sqrt2*math.Erfinv(2*p-1)
+}
+
+// Laplace is the double-exponential family with location Mu and scale B.
+type Laplace struct {
+	Mu float64
+	B  float64
+}
+
+// NewLaplace returns a Laplace distribution; it panics unless b > 0.
+func NewLaplace(mu, b float64) Laplace {
+	if !(b > 0) {
+		panic("dist: NewLaplace requires b > 0")
+	}
+	return Laplace{Mu: mu, B: b}
+}
+
+// Name implements Distribution.
+func (Laplace) Name() string { return "Laplace" }
+
+// Sample implements Distribution.
+func (d Laplace) Sample(r *simeng.RNG) float64 {
+	u := r.Float64() - 0.5
+	if u >= 0 {
+		return d.Mu - d.B*math.Log(1-2*u)
+	}
+	return d.Mu + d.B*math.Log(1+2*u)
+}
+
+// CDF implements Distribution.
+func (d Laplace) CDF(x float64) float64 {
+	if x < d.Mu {
+		return 0.5 * math.Exp((x-d.Mu)/d.B)
+	}
+	return 1 - 0.5*math.Exp(-(x-d.Mu)/d.B)
+}
+
+// LogPDF implements Distribution.
+func (d Laplace) LogPDF(x float64) float64 {
+	return -math.Abs(x-d.Mu)/d.B - math.Log(2*d.B)
+}
+
+// Mean implements Distribution.
+func (d Laplace) Mean() float64 { return d.Mu }
+
+// Quantile implements Distribution.
+func (d Laplace) Quantile(p float64) float64 {
+	checkQuantileArg(p)
+	if p < 0.5 {
+		return d.Mu + d.B*math.Log(2*p)
+	}
+	return d.Mu - d.B*math.Log(2*(1-p))
+}
+
+// Geometric is the discrete waiting-time family on {1, 2, ...}:
+// P(X = k) = (1-P)^(k-1) * P. Interval samples, which arrive as
+// seconds, are rounded to the nearest positive integer for likelihood
+// purposes; the CDF is the usual right-continuous step function, so the
+// family competes in the same KS metric as the continuous ones.
+type Geometric struct {
+	P float64
+}
+
+// NewGeometric returns a geometric distribution; it panics unless p is
+// in (0, 1].
+func NewGeometric(p float64) Geometric {
+	if !(p > 0) || p > 1 {
+		panic("dist: NewGeometric requires p in (0,1]")
+	}
+	return Geometric{P: p}
+}
+
+// Name implements Distribution.
+func (Geometric) Name() string { return "Geometric" }
+
+// Sample implements Distribution.
+func (d Geometric) Sample(r *simeng.RNG) float64 {
+	if d.P >= 1 {
+		return 1
+	}
+	k := math.Ceil(math.Log(r.Float64Open()) / math.Log(1-d.P))
+	if k < 1 {
+		return 1
+	}
+	return k
+}
+
+// CDF implements Distribution.
+func (d Geometric) CDF(x float64) float64 {
+	if x < 1 {
+		return 0
+	}
+	return 1 - math.Pow(1-d.P, math.Floor(x))
+}
+
+// LogPDF implements Distribution (log-mass at the nearest integer).
+func (d Geometric) LogPDF(x float64) float64 {
+	if x < 0.5 {
+		return math.Inf(-1)
+	}
+	k := math.Max(1, math.Round(x))
+	if d.P >= 1 {
+		if k == 1 {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	return math.Log(d.P) + (k-1)*math.Log(1-d.P)
+}
+
+// Mean implements Distribution.
+func (d Geometric) Mean() float64 { return 1 / d.P }
+
+// Quantile implements Distribution.
+func (d Geometric) Quantile(p float64) float64 {
+	checkQuantileArg(p)
+	if d.P >= 1 || p == 0 {
+		return 1
+	}
+	if p == 1 {
+		return math.Inf(1)
+	}
+	k := math.Ceil(math.Log1p(-p) / math.Log(1-d.P))
+	if k < 1 {
+		return 1
+	}
+	return k
+}
+
+// LogNormal is exp(Normal(Mu, Sigma)): the body model the synthetic
+// trace generator uses for task lengths and memory sizes (Figure 8).
+type LogNormal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// NewLogNormal returns a log-normal distribution parameterized on the
+// log scale; it panics unless sigma > 0.
+func NewLogNormal(mu, sigma float64) LogNormal {
+	if !(sigma > 0) {
+		panic("dist: NewLogNormal requires sigma > 0")
+	}
+	return LogNormal{Mu: mu, Sigma: sigma}
+}
+
+// Name implements Distribution.
+func (LogNormal) Name() string { return "LogNormal" }
+
+// Sample implements Distribution.
+func (d LogNormal) Sample(r *simeng.RNG) float64 {
+	return math.Exp(d.Mu + d.Sigma*r.NormFloat64())
+}
+
+// CDF implements Distribution.
+func (d LogNormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 0.5 * math.Erfc(-(math.Log(x)-d.Mu)/(d.Sigma*math.Sqrt2))
+}
+
+// LogPDF implements Distribution.
+func (d LogNormal) LogPDF(x float64) float64 {
+	if x <= 0 {
+		return math.Inf(-1)
+	}
+	z := (math.Log(x) - d.Mu) / d.Sigma
+	return -0.5*z*z - math.Log(x*d.Sigma) - 0.5*math.Log(2*math.Pi)
+}
+
+// Mean implements Distribution.
+func (d LogNormal) Mean() float64 {
+	return math.Exp(d.Mu + d.Sigma*d.Sigma/2)
+}
+
+// Quantile implements Distribution.
+func (d LogNormal) Quantile(p float64) float64 {
+	checkQuantileArg(p)
+	return math.Exp(d.Mu + d.Sigma*math.Sqrt2*math.Erfinv(2*p-1))
+}

@@ -6,6 +6,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/scenario"
+	"repro/internal/sweep"
 	"repro/internal/tables"
 	"repro/internal/trace"
 )
@@ -25,29 +27,29 @@ type AblationDalyResult struct {
 // MTBF-based rules inherit the inflated-MTBF problem Daly's higher-order
 // terms cannot fix.
 func AblationDaly(o Opts) (*AblationDalyResult, error) {
-	tr := trace.Generate(trace.DefaultGenConfig(o.Seed, o.jobs(1500)))
-	est := trace.BuildEstimator(tr, trace.DefaultLengthLimits)
-	replay := tr.BatchJobs()
-	res := &AblationDalyResult{
-		AvgWPR:   make(map[string]float64, 4),
-		MeanWall: make(map[string]float64, 4),
+	w := scenario.Workload{Jobs: o.jobs(1500)}
+	policies := []string{"formula3", "young", "daly", "random", "none"}
+	runs := make([]sweep.Run, 0, len(policies))
+	for _, policy := range policies {
+		runs = append(runs, pinned(o, scenario.Scenario{Name: policy, Workload: w, Policy: policy}))
 	}
-	for _, p := range []core.Policy{
-		core.MNOFPolicy{}, core.YoungPolicy{}, core.DalyPolicy{},
-		core.RandomPolicy{}, core.NoCheckpointPolicy{},
-	} {
-		r, err := engine.RunWithEstimator(engine.Config{Seed: o.Seed, Policy: p}, replay, est)
-		if err != nil {
-			return nil, err
-		}
-		res.AvgWPR[p.Name()] = r.MeanWPR(engine.WithFailures)
+	results, err := runSweep(o, runs)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationDalyResult{
+		AvgWPR:   make(map[string]float64, len(results)),
+		MeanWall: make(map[string]float64, len(results)),
+	}
+	for _, r := range results {
+		res.AvgWPR[r.PolicyName] = r.MeanWPR(engine.WithFailures)
 		walls := r.JobWalls(engine.WithFailures)
 		var sum float64
-		for _, w := range walls {
-			sum += w
+		for _, wall := range walls {
+			sum += wall
 		}
 		if len(walls) > 0 {
-			res.MeanWall[p.Name()] = sum / float64(len(walls))
+			res.MeanWall[r.PolicyName] = sum / float64(len(walls))
 		}
 	}
 	return res, nil
@@ -76,13 +78,7 @@ type AblationStorageResult struct {
 // StorageShared. The expectation is Auto >= max(Local, Shared): the
 // per-task rule dominates either fixed choice.
 func AblationStorage(o Opts) (*AblationStorageResult, error) {
-	tr := trace.Generate(trace.DefaultGenConfig(o.Seed, o.jobs(1500)))
-	est := trace.BuildEstimator(tr, trace.DefaultLengthLimits)
-	replay := tr.BatchJobs()
-	res := &AblationStorageResult{
-		AvgWPR:      make(map[string]float64, 3),
-		SharedShare: make(map[string]float64, 3),
-	}
+	w := scenario.Workload{Jobs: o.jobs(1500)}
 	modes := []struct {
 		name string
 		mode engine.StorageMode
@@ -91,13 +87,22 @@ func AblationStorage(o Opts) (*AblationStorageResult, error) {
 		{"always local", engine.StorageLocal},
 		{"always shared", engine.StorageShared},
 	}
+	runs := make([]sweep.Run, 0, len(modes))
 	for _, m := range modes {
-		r, err := engine.RunWithEstimator(engine.Config{
-			Seed: o.Seed, Policy: core.MNOFPolicy{}, Mode: m.mode,
-		}, replay, est)
-		if err != nil {
-			return nil, err
-		}
+		runs = append(runs, pinned(o, scenario.Scenario{
+			Name: m.name, Workload: w, Policy: "formula3", Storage: m.mode,
+		}))
+	}
+	results, err := runSweep(o, runs)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationStorageResult{
+		AvgWPR:      make(map[string]float64, len(modes)),
+		SharedShare: make(map[string]float64, len(modes)),
+	}
+	for i, m := range modes {
+		r := results[i]
 		res.AvgWPR[m.name] = r.MeanWPR(engine.WithFailures)
 		var shared, total float64
 		for _, jr := range r.Jobs {

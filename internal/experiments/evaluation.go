@@ -7,7 +7,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/metrics"
+	"repro/internal/scenario"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/tables"
 	"repro/internal/trace"
 )
@@ -129,8 +131,8 @@ type Fig9Result struct {
 // The paper reports ST averages 0.945 vs 0.916 and BoT averages 0.955
 // vs 0.915.
 func Fig9(o Opts) (*Fig9Result, error) {
-	tr := trace.Generate(trace.DefaultGenConfig(o.Seed, o.jobs(2000)))
-	f3, young, err := runBothFormulas(o, tr, unlimitedOnly)
+	w := scenario.Workload{Jobs: o.jobs(2000)}
+	f3, young, err := runBothFormulas(o, w, unlimitedOnly)
 	if err != nil {
 		return nil, err
 	}
@@ -217,8 +219,8 @@ type Fig10Result struct {
 // formulas, for ST and BoT jobs separately. Priorities with no failing
 // jobs are omitted, like the paper's missing bars.
 func Fig10(o Opts) (*Fig10Result, error) {
-	tr := trace.Generate(trace.DefaultGenConfig(o.Seed, o.jobs(2500)))
-	f3, young, err := runBothFormulas(o, tr, unlimitedOnly)
+	w := scenario.Workload{Jobs: o.jobs(2500)}
+	f3, young, err := runBothFormulas(o, w, unlimitedOnly)
 	if err != nil {
 		return nil, err
 	}
@@ -284,10 +286,8 @@ type Fig11Result struct {
 // Fig11 reproduces Figure 11: WPR distributions for jobs whose tasks
 // are bounded by RL in {1000, 2000, 4000} seconds, one-day-trace scale.
 func Fig11(o Opts) (*Fig11Result, error) {
-	cfg := trace.DefaultGenConfig(o.Seed, o.jobs(2500))
-	cfg.MaxTaskLength = 4000
-	tr := trace.Generate(cfg)
-	f3, young, err := runBothFormulas(o, tr, shortTaskLimits)
+	w := scenario.Workload{Jobs: o.jobs(2500), MaxTaskLength: 4000}
+	f3, young, err := runBothFormulas(o, w, shortTaskLimits)
 	if err != nil {
 		return nil, err
 	}
@@ -377,10 +377,8 @@ type Fig12Row struct {
 // Fig12 reproduces Figure 12: per-job wall-clock lengths at RL=1000 and
 // RL=4000; Young's formula costs most jobs tens of extra seconds.
 func Fig12(o Opts) (*Fig12Result, error) {
-	cfg := trace.DefaultGenConfig(o.Seed, o.jobs(2500))
-	cfg.MaxTaskLength = 4000
-	tr := trace.Generate(cfg)
-	f3, young, err := runBothFormulas(o, tr, shortTaskLimits)
+	w := scenario.Workload{Jobs: o.jobs(2500), MaxTaskLength: 4000}
+	f3, young, err := runBothFormulas(o, w, shortTaskLimits)
 	if err != nil {
 		return nil, err
 	}
@@ -453,10 +451,8 @@ type Fig13Result struct {
 // Fig13 reproduces Figure 13: the per-job ratio of wall-clock lengths
 // between the two formulas at RL=1000.
 func Fig13(o Opts) (*Fig13Result, error) {
-	cfg := trace.DefaultGenConfig(o.Seed, o.jobs(2500))
-	cfg.MaxTaskLength = 1000
-	tr := trace.Generate(cfg)
-	f3, young, err := runBothFormulas(o, tr, shortTaskLimits)
+	w := scenario.Workload{Jobs: o.jobs(2500), MaxTaskLength: 1000}
+	f3, young, err := runBothFormulas(o, w, shortTaskLimits)
 	if err != nil {
 		return nil, err
 	}
@@ -530,24 +526,15 @@ type Fig14Result struct {
 // the static one (initial plan kept). The paper reports worst WPR ~0.8
 // dynamic vs ~0.5 static.
 func Fig14(o Opts) (*Fig14Result, error) {
-	cfg := trace.DefaultGenConfig(o.Seed, o.jobs(1500))
-	cfg.PriorityChangeFraction = 1.0
-	tr := trace.Generate(cfg)
-	est := trace.BuildEstimator(tr, trace.DefaultLengthLimits)
-	replay := tr.BatchJobs()
-
-	dynamic, err := engine.RunWithEstimator(engine.Config{
-		Seed: o.Seed, Policy: core.MNOFPolicy{}, Dynamic: true,
-	}, replay, est)
+	w := scenario.Workload{Jobs: o.jobs(1500), PriorityChangeFraction: 1.0}
+	results, err := runSweep(o, []sweep.Run{
+		pinned(o, scenario.Scenario{Name: "dynamic", Workload: w, Policy: "formula3", Dynamic: true}),
+		pinned(o, scenario.Scenario{Name: "static", Workload: w, Policy: "formula3"}),
+	})
 	if err != nil {
 		return nil, err
 	}
-	static, err := engine.RunWithEstimator(engine.Config{
-		Seed: o.Seed, Policy: core.MNOFPolicy{}, Dynamic: false,
-	}, replay, est)
-	if err != nil {
-		return nil, err
-	}
+	dynamic, static := results[0], results[1]
 	keep := engine.WithFailures
 	dw, sw := dynamic.JobWPRs(keep), static.JobWPRs(keep)
 	if len(dw) == 0 || len(sw) == 0 {
@@ -613,19 +600,17 @@ type Table6Result struct {
 // (the oracle), Formula 3 and Young's formula nearly coincide — high
 // average WPR for both.
 func Table6(o Opts) (*Table6Result, error) {
-	tr := trace.Generate(trace.DefaultGenConfig(o.Seed, o.jobs(2000))).BatchJobs()
-	f3, err := engine.Run(engine.Config{
-		Seed: o.Seed, Policy: core.MNOFPolicy{}, Estimates: engine.EstimateOracle,
-	}, tr)
+	w := scenario.Workload{Jobs: o.jobs(2000)}
+	results, err := runSweep(o, []sweep.Run{
+		pinned(o, scenario.Scenario{Name: "oracle-formula3", Workload: w, Policy: "formula3",
+			Estimates: engine.EstimateOracle}),
+		pinned(o, scenario.Scenario{Name: "oracle-young", Workload: w, Policy: "young",
+			Estimates: engine.EstimateOracle}),
+	})
 	if err != nil {
 		return nil, err
 	}
-	young, err := engine.Run(engine.Config{
-		Seed: o.Seed, Policy: core.YoungPolicy{}, Estimates: engine.EstimateOracle,
-	}, tr)
-	if err != nil {
-		return nil, err
-	}
+	f3, young := results[0], results[1]
 	res := &Table6Result{Rows: make(map[string]WPRComparison, 3)}
 	pops := []struct {
 		name string

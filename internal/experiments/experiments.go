@@ -1,7 +1,13 @@
 // Package experiments reproduces every table and figure of the paper's
 // evaluation (Section 4 characterization and Section 5 performance
 // study). Each experiment is a function from options to a printable
-// result struct; all are deterministic given Opts.Seed.
+// result struct; all are deterministic given Opts.Seed, for any
+// Opts.Parallel worker count.
+//
+// Engine-driven experiments are declared as scenario lists and executed
+// through the internal/sweep worker pool, so a figure's runs (two
+// formulas, a policy ladder, a crash-rate sweep) fan out across cores
+// while remaining byte-identical to a serial run.
 //
 // The registry maps experiment ids ("fig9", "table6", ...) to runners
 // so the cloudsim CLI and the benchmark harness share one entry point.
@@ -12,8 +18,9 @@ import (
 	"math"
 	"sort"
 
-	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/scenario"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -24,6 +31,10 @@ type Opts struct {
 	// Jobs scales trace-driven experiments; 0 selects each experiment's
 	// default (sized to finish in seconds on a laptop).
 	Jobs int
+	// Parallel is the sweep worker-pool size (0 means GOMAXPROCS).
+	// Results are byte-identical for every value; only wall-clock
+	// changes.
+	Parallel int
 }
 
 func (o Opts) jobs(def int) int {
@@ -36,7 +47,7 @@ func (o Opts) jobs(def int) int {
 // Runner executes one experiment.
 type Runner func(Opts) (fmt.Stringer, error)
 
-// Registry maps experiment ids to runners, in the paper's order.
+// Registry maps experiment ids to runners.
 var Registry = map[string]Runner{
 	"fig4":   func(o Opts) (fmt.Stringer, error) { return Fig4(o) },
 	"fig5":   func(o Opts) (fmt.Stringer, error) { return Fig5(o) },
@@ -63,14 +74,39 @@ var Registry = map[string]Runner{
 	"ablation-nonblocking": func(o Opts) (fmt.Stringer, error) { return AblationNonBlocking(o) },
 }
 
-// Names returns the registered experiment ids in sorted order.
+// registryOrder lists the experiment ids in the paper's presentation
+// order: the Section 4 characterization first (trace analyses, then the
+// BLCR/storage micro-benchmarks), the Section 5 evaluation next, and
+// this repository's ablations — which have no paper counterpart — last.
+var registryOrder = []string{
+	"fig4", "fig5", "fig7", "fig8",
+	"table2", "table3", "table4", "table5",
+	"fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+	"table6", "table7",
+	"ablation-daly", "ablation-storage", "ablation-theorem2",
+	"ablation-prediction", "ablation-hostfail", "ablation-nonblocking",
+}
+
+// Names returns the registered experiment ids in the paper's order
+// (figures and tables as presented, ablations last); ids registered
+// outside registryOrder append alphabetically.
 func Names() []string {
 	out := make([]string, 0, len(Registry))
-	for k := range Registry {
-		out = append(out, k)
+	seen := make(map[string]bool, len(Registry))
+	for _, id := range registryOrder {
+		if _, ok := Registry[id]; ok {
+			out = append(out, id)
+			seen[id] = true
+		}
 	}
-	sort.Strings(out)
-	return out
+	var extra []string
+	for id := range Registry {
+		if !seen[id] {
+			extra = append(extra, id)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
 }
 
 // Run executes a registered experiment by id.
@@ -82,41 +118,46 @@ func Run(id string, o Opts) (fmt.Stringer, error) {
 	return r(o)
 }
 
-// runBothFormulas executes the same trace under Formula 3 and Young's
-// formula with priority-based estimation — the paper's headline
-// comparison setup shared by Figures 9-13.
+// runSweep executes scenario runs through the sweep worker pool sized
+// by Opts.Parallel and unwraps the results in run order.
+func runSweep(o Opts, runs []sweep.Run) ([]*engine.Result, error) {
+	return sweep.Results(sweep.Scenarios(runs, sweep.Options{
+		BaseSeed: o.Seed,
+		Workers:  o.Parallel,
+	}))
+}
+
+// pinned wraps a scenario into a sweep run that replays the
+// experiment's own seed, so every scenario in the sweep sees the
+// identical trace and failure processes — the paper's paired-comparison
+// methodology.
+func pinned(o Opts, sc scenario.Scenario) sweep.Run {
+	return sweep.Pin(sc, o.Seed)
+}
+
+// runBothFormulas executes the same workload under Formula 3 and
+// Young's formula with priority-based estimation — the paper's headline
+// comparison shared by Figures 9-13 — as one two-scenario sweep.
 //
 // limits selects the estimation grouping: Figures 9-10 group by priority
 // over all jobs (pass unlimitedOnly), while Figures 11-13 estimate from
 // "corresponding short tasks based on priorities, in order to estimate
 // MTBF with as small errors as possible" (pass nil for the default
-// length-limit ladder).
-func runBothFormulas(o Opts, tr *trace.Trace, limits []float64) (f3, young *engine.Result, err error) {
+// length-limit ladder). Statistics come from the full trace (including
+// the long-running service tier); the replayed workload is the batch
+// jobs, as in the paper's sampled-job methodology.
+func runBothFormulas(o Opts, w scenario.Workload, limits []float64) (f3, young *engine.Result, err error) {
 	if limits == nil {
 		limits = trace.DefaultLengthLimits
 	}
-	// Statistics come from the full trace (including the long-running
-	// service tier); the replayed workload is the batch jobs, as in the
-	// paper's sampled-job methodology.
-	est := trace.BuildEstimator(tr, limits)
-	replay := tr.BatchJobs()
-	f3, err = engine.RunWithEstimator(engine.Config{
-		Seed:   o.Seed,
-		Policy: core.MNOFPolicy{},
-		Limits: limits,
-	}, replay, est)
+	results, err := runSweep(o, []sweep.Run{
+		pinned(o, scenario.Scenario{Name: "formula3", Workload: w, Policy: "formula3", Limits: limits}),
+		pinned(o, scenario.Scenario{Name: "young", Workload: w, Policy: "young", Limits: limits}),
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	young, err = engine.RunWithEstimator(engine.Config{
-		Seed:   o.Seed,
-		Policy: core.YoungPolicy{},
-		Limits: limits,
-	}, replay, est)
-	if err != nil {
-		return nil, nil, err
-	}
-	return f3, young, nil
+	return results[0], results[1], nil
 }
 
 // unlimitedOnly is the Figures 9-10 estimation grouping: by priority

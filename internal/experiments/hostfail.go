@@ -1,10 +1,12 @@
 package experiments
 
 import (
-	"repro/internal/core"
+	"fmt"
+
 	"repro/internal/engine"
+	"repro/internal/scenario"
+	"repro/internal/sweep"
 	"repro/internal/tables"
-	"repro/internal/trace"
 )
 
 // AblationHostFailuresResult measures the policies under whole-host
@@ -25,28 +27,33 @@ type HostFailureRow struct {
 }
 
 // AblationHostFailures sweeps host crash rates and compares Formula 3
-// checkpointing against no checkpointing. Expected shape: the WPR of
-// unprotected jobs collapses as crashes become frequent, while
-// checkpointed jobs degrade slowly.
+// checkpointing against no checkpointing: one eight-scenario sweep
+// (four crash rates, two policies) over a shared trace. Expected shape:
+// the WPR of unprotected jobs collapses as crashes become frequent,
+// while checkpointed jobs degrade slowly.
 func AblationHostFailures(o Opts) (*AblationHostFailuresResult, error) {
-	tr := trace.Generate(trace.DefaultGenConfig(o.Seed, o.jobs(800)))
-	est := trace.BuildEstimator(tr, trace.DefaultLengthLimits)
-	replay := tr.BatchJobs()
+	w := scenario.Workload{Jobs: o.jobs(800)}
+	mtbfs := []float64{0, 5000, 1000, 300}
+	runs := make([]sweep.Run, 0, 2*len(mtbfs))
+	for _, mtbf := range mtbfs {
+		runs = append(runs,
+			pinned(o, scenario.Scenario{
+				Name:     fmt.Sprintf("formula3/host-mtbf=%g", mtbf),
+				Workload: w, Policy: "formula3", HostMTBF: mtbf,
+			}),
+			pinned(o, scenario.Scenario{
+				Name:     fmt.Sprintf("none/host-mtbf=%g", mtbf),
+				Workload: w, Policy: "none", HostMTBF: mtbf,
+			}))
+	}
+	results, err := runSweep(o, runs)
+	if err != nil {
+		return nil, err
+	}
 
 	res := &AblationHostFailuresResult{}
-	for _, mtbf := range []float64{0, 5000, 1000, 300} {
-		f3, err := engine.RunWithEstimator(engine.Config{
-			Seed: o.Seed, Policy: core.MNOFPolicy{}, HostMTBF: mtbf,
-		}, replay, est)
-		if err != nil {
-			return nil, err
-		}
-		none, err := engine.RunWithEstimator(engine.Config{
-			Seed: o.Seed, Policy: core.NoCheckpointPolicy{}, HostMTBF: mtbf,
-		}, replay, est)
-		if err != nil {
-			return nil, err
-		}
+	for i, mtbf := range mtbfs {
+		f3, none := results[2*i], results[2*i+1]
 		row := HostFailureRow{
 			HostMTBFSec: mtbf,
 			WPRF3:       f3.MeanWPR(engine.WithFailures),

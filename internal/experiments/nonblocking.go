@@ -1,10 +1,10 @@
 package experiments
 
 import (
-	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/scenario"
+	"repro/internal/sweep"
 	"repro/internal/tables"
-	"repro/internal/trace"
 )
 
 // AblationNonBlockingResult compares blocking checkpoint writes with the
@@ -20,26 +20,21 @@ type AblationNonBlockingResult struct {
 	Checkpoints  int
 }
 
-// AblationNonBlocking runs Formula 3 in both modes on the same trace.
-// Expected shape: the non-blocking mode recovers roughly the total
-// checkpoint write time in wall-clock, raising WPR accordingly.
+// AblationNonBlocking runs Formula 3 in both modes on the same trace as
+// a two-scenario sweep. Expected shape: the non-blocking mode recovers
+// roughly the total checkpoint write time in wall-clock, raising WPR
+// accordingly.
 func AblationNonBlocking(o Opts) (*AblationNonBlockingResult, error) {
-	tr := trace.Generate(trace.DefaultGenConfig(o.Seed, o.jobs(1200)))
-	est := trace.BuildEstimator(tr, trace.DefaultLengthLimits)
-	replay := tr.BatchJobs()
-
-	blocking, err := engine.RunWithEstimator(engine.Config{
-		Seed: o.Seed, Policy: core.MNOFPolicy{},
-	}, replay, est)
+	w := scenario.Workload{Jobs: o.jobs(1200)}
+	results, err := runSweep(o, []sweep.Run{
+		pinned(o, scenario.Scenario{Name: "blocking", Workload: w, Policy: "formula3"}),
+		pinned(o, scenario.Scenario{Name: "non-blocking", Workload: w, Policy: "formula3",
+			NonBlocking: true}),
+	})
 	if err != nil {
 		return nil, err
 	}
-	async, err := engine.RunWithEstimator(engine.Config{
-		Seed: o.Seed, Policy: core.MNOFPolicy{}, NonBlockingCheckpoints: true,
-	}, replay, est)
-	if err != nil {
-		return nil, err
-	}
+	blocking, async := results[0], results[1]
 	res := &AblationNonBlockingResult{
 		WPRBlocking:    blocking.MeanWPR(engine.WithFailures),
 		WPRNonBlocking: async.MeanWPR(engine.WithFailures),

@@ -4,11 +4,11 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/predict"
+	"repro/internal/scenario"
+	"repro/internal/sweep"
 	"repro/internal/tables"
-	"repro/internal/trace"
 )
 
 // AblationPredictionResult quantifies the sensitivity of the two
@@ -31,16 +31,21 @@ type PredictionRow struct {
 }
 
 // AblationPrediction runs both formulas under the exact parser, a
-// trained polynomial-regression parser, and increasingly noisy parsers.
-// Expected shape: Formula 3 degrades gracefully (the interval count
-// scales with sqrt(Te), so relative error enters under a square root),
-// and the regression parser lands near the exact one.
+// trained polynomial-regression parser, and increasingly noisy parsers
+// — one ten-scenario sweep over a shared trace. The regression parser
+// trains on the replayed (service-free) workload first, then attaches
+// to its scenarios as runtime state. Expected shape: Formula 3 degrades
+// gracefully (the interval count scales with sqrt(Te), so relative
+// error enters under a square root), and the regression parser lands
+// near the exact one.
 func AblationPrediction(o Opts) (*AblationPredictionResult, error) {
-	tr := trace.Generate(trace.DefaultGenConfig(o.Seed, o.jobs(1200)))
-	est := trace.BuildEstimator(tr, trace.DefaultLengthLimits)
-	replay := tr.BatchJobs()
-
-	// Train the regression parser on the service-free history.
+	w := scenario.Workload{Jobs: o.jobs(1200)}
+	// Train the regression parser on the service-free history of the
+	// same trace the sweep will replay. Generation is deterministic by
+	// (seed, workload), so this local materialization and the sweep's
+	// cached one are identical; sweep.DefaultJobs keeps the sizes in
+	// agreement even if the workload ever stops pinning its own size.
+	replay := w.Materialize(o.Seed, sweep.DefaultJobs).BatchJobs()
 	reg, err := predict.TrainRegression(replay.Tasks(), 2)
 	if err != nil {
 		return nil, err
@@ -53,20 +58,26 @@ func AblationPrediction(o Opts) (*AblationPredictionResult, error) {
 		predict.Noisy{Sigma: 1.5},
 	}
 
-	res := &AblationPredictionResult{}
+	runs := make([]sweep.Run, 0, 2*len(predictors))
 	for _, p := range predictors {
-		f3, err := engine.RunWithEstimator(engine.Config{
-			Seed: o.Seed, Policy: core.MNOFPolicy{}, Predictor: p,
-		}, replay, est)
-		if err != nil {
-			return nil, err
-		}
-		young, err := engine.RunWithEstimator(engine.Config{
-			Seed: o.Seed, Policy: core.YoungPolicy{}, Predictor: p,
-		}, replay, est)
-		if err != nil {
-			return nil, err
-		}
+		runs = append(runs,
+			pinned(o, scenario.Scenario{
+				Name:     fmt.Sprintf("formula3/%s", p.Name()),
+				Workload: w, Policy: "formula3", Predictor: p,
+			}),
+			pinned(o, scenario.Scenario{
+				Name:     fmt.Sprintf("young/%s", p.Name()),
+				Workload: w, Policy: "young", Predictor: p,
+			}))
+	}
+	results, err := runSweep(o, runs)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &AblationPredictionResult{}
+	for i, p := range predictors {
+		f3, young := results[2*i], results[2*i+1]
 		row := PredictionRow{
 			Predictor: p.Name(),
 			MARE:      predict.Evaluate(p.(predict.Predictor), replay.Tasks()),

@@ -1,0 +1,231 @@
+// Package scenario turns this repository's experiments into data. A
+// Scenario declares everything one simulation run depends on — the
+// workload to generate, the cluster shape, the checkpointing policy,
+// the storage mode, the statistics estimator, and the fault model — and
+// compiles down to the trace.GenConfig / engine.Config pair that
+// internal/sweep materializes and executes.
+//
+// The declarative form buys three things over hand-rolled engine.Run
+// calls: experiments become sweeps over scenario lists (one code path,
+// arbitrary fan-out), the named registry opens workloads beyond the
+// paper's figures to the CLI and tests without new Go code at call
+// sites, and every field is plain data, so scenarios can be compared,
+// cached, and distributed across workers deterministically.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/storage"
+	"repro/internal/trace"
+)
+
+// Workload declares a synthetic trace. The zero value means "the
+// paper's default workload at the caller's default scale": zero Jobs
+// defers to the sweep's default size, and zero rate/mix fields inherit
+// trace.DefaultGenConfig. Workload is comparable, so sweeps use it
+// (plus the seed) as a cache key when several scenarios share one
+// trace.
+type Workload struct {
+	// Jobs is the trace size; 0 defers to the caller's default.
+	Jobs int
+	// ArrivalRate overrides the default 0.12 jobs/s when positive.
+	ArrivalRate float64
+	// BoTFraction overrides the default 0.45 bag-of-tasks share when
+	// non-zero; pass a negative value for a pure sequential-task mix.
+	BoTFraction float64
+	// MaxTaskLength / MinTaskLength bound task lengths in seconds
+	// (0 keeps the generator defaults of 6 h and 30 s).
+	MaxTaskLength float64
+	MinTaskLength float64
+	// PriorityChangeFraction is the share of tasks whose priority flips
+	// mid-execution (the Figure 14 scenario).
+	PriorityChangeFraction float64
+	// ServiceFraction is the share of long-running service jobs;
+	// 0 keeps the default 0.06, negative disables services.
+	ServiceFraction float64
+}
+
+// GenConfig compiles the workload for a seed, substituting defaultJobs
+// when the workload does not pin its own size.
+func (w Workload) GenConfig(seed uint64, defaultJobs int) trace.GenConfig {
+	jobs := w.Jobs
+	if jobs <= 0 {
+		jobs = defaultJobs
+	}
+	cfg := trace.DefaultGenConfig(seed, jobs)
+	if w.ArrivalRate > 0 {
+		cfg.ArrivalRate = w.ArrivalRate
+	}
+	if w.BoTFraction != 0 {
+		cfg.BoTFraction = w.BoTFraction
+		if cfg.BoTFraction < 0 {
+			cfg.BoTFraction = 0
+		}
+	}
+	cfg.MaxTaskLength = w.MaxTaskLength
+	cfg.MinTaskLength = w.MinTaskLength
+	cfg.PriorityChangeFraction = w.PriorityChangeFraction
+	cfg.ServiceFraction = w.ServiceFraction
+	return cfg
+}
+
+// Materialize generates the workload's trace for a seed.
+func (w Workload) Materialize(seed uint64, defaultJobs int) *trace.Trace {
+	return trace.Generate(w.GenConfig(seed, defaultJobs))
+}
+
+// Scenario is one declarative simulation run. The zero value (plus a
+// name) is the paper's headline setup: default workload, 32-host
+// cluster, Formula 3, automatic storage selection, priority-based
+// estimation over the default length limits, no host crashes.
+type Scenario struct {
+	// Name labels the run in sweep outcomes and the registry.
+	Name string
+	// Description is a one-line summary for -list output.
+	Description string
+	// Workload declares the trace to generate.
+	Workload Workload
+	// ReplayAll replays every generated job; the default (false)
+	// replays only batch jobs while the estimator still sees the full
+	// trace — the paper's sampled-job methodology.
+	ReplayAll bool
+	// Policy names the checkpoint policy: "formula3" (default),
+	// "young", "daly", "random", or "none". See PolicyByName.
+	Policy string
+	// Dynamic enables Algorithm 1's adaptive replanning on mid-run
+	// priority changes.
+	Dynamic bool
+	// Storage selects the checkpoint device rule.
+	Storage engine.StorageMode
+	// SharedKind selects the shared backend (default DM-NFS).
+	SharedKind storage.Kind
+	// Estimates selects the statistics source.
+	Estimates engine.EstimateMode
+	// Limits are the task-length limits for priority-based estimation;
+	// nil means trace.DefaultLengthLimits.
+	Limits []float64
+	// Hosts and HostMemMB size the cluster (0 keeps engine defaults).
+	Hosts     int
+	HostMemMB float64
+	// HostMTBF/HostRepair configure whole-host crashes (0 disables /
+	// default repair).
+	HostMTBF   float64
+	HostRepair float64
+	// DetectionDelay/ScheduleDelay override the liveness-polling and
+	// dispatch latencies when positive.
+	DetectionDelay float64
+	ScheduleDelay  float64
+	// NonBlocking writes checkpoints in a separate thread
+	// (Algorithm 1 line 7).
+	NonBlocking bool
+	// Predictor optionally supplies planned task lengths (the job
+	// parser). It is attached at runtime because predictors may need
+	// training; nil plans with exact lengths.
+	Predictor engine.Predictor
+	// MaxSimSeconds aborts runaway simulations; 0 means no limit.
+	MaxSimSeconds float64
+}
+
+// PolicyByName resolves a scenario policy name to the core policy.
+// Recognized names (case-insensitive): "formula3" (aliases "f3",
+// "mnof", and ""), "young", "daly", "random", "none".
+func PolicyByName(name string) (core.Policy, error) {
+	switch strings.ToLower(name) {
+	case "", "formula3", "f3", "mnof":
+		return core.MNOFPolicy{}, nil
+	case "young":
+		return core.YoungPolicy{}, nil
+	case "daly":
+		return core.DalyPolicy{}, nil
+	case "random":
+		return core.RandomPolicy{}, nil
+	case "none":
+		return core.NoCheckpointPolicy{}, nil
+	}
+	return nil, fmt.Errorf("scenario: unknown policy %q (want formula3, young, daly, random, or none)", name)
+}
+
+// EngineConfig compiles the scenario to an engine configuration for the
+// given seed. The trace itself is materialized separately (see
+// Workload.Materialize and internal/sweep) so several scenarios can
+// share one trace.
+func (s Scenario) EngineConfig(seed uint64) (engine.Config, error) {
+	policy, err := PolicyByName(s.Policy)
+	if err != nil {
+		return engine.Config{}, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	return engine.Config{
+		Seed:                   seed,
+		Hosts:                  s.Hosts,
+		HostMemMB:              s.HostMemMB,
+		Policy:                 policy,
+		Dynamic:                s.Dynamic,
+		Mode:                   s.Storage,
+		SharedKind:             s.SharedKind,
+		Estimates:              s.Estimates,
+		Limits:                 s.Limits,
+		DetectionDelay:         s.DetectionDelay,
+		ScheduleDelay:          s.ScheduleDelay,
+		MaxSimSeconds:          s.MaxSimSeconds,
+		HostMTBF:               s.HostMTBF,
+		HostRepair:             s.HostRepair,
+		Predictor:              s.Predictor,
+		NonBlockingCheckpoints: s.NonBlocking,
+	}, nil
+}
+
+// EffectiveLimits returns the estimation limits the scenario runs with.
+func (s Scenario) EffectiveLimits() []float64 {
+	if s.Limits == nil {
+		return trace.DefaultLengthLimits
+	}
+	return s.Limits
+}
+
+// registry is the named scenario catalog. Guarded by a mutex so tests
+// and init-time registration interleave safely.
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]Scenario)
+)
+
+// Register adds a scenario to the catalog under its Name, replacing any
+// previous entry. It panics on an empty name or an unresolvable policy,
+// so bad catalog entries fail at startup rather than mid-sweep.
+func Register(s Scenario) {
+	if s.Name == "" {
+		panic("scenario: Register requires a name")
+	}
+	if _, err := PolicyByName(s.Policy); err != nil {
+		panic(err)
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry[s.Name] = s
+}
+
+// Get looks a scenario up by name.
+func Get(name string) (Scenario, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names returns the registered scenario names, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

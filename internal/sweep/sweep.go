@@ -1,0 +1,257 @@
+// Package sweep executes independent simulation runs across a worker
+// pool. It is the parallel backbone of the experiment layer: each
+// figure or table is a list of scenario.Scenario values, and Scenarios
+// fans the corresponding engine runs across GOMAXPROCS workers while
+// guaranteeing byte-identical results for any worker count.
+//
+// Determinism comes from three properties: every run's seed derives
+// only from (base seed, run index) via SplitMix64, never from execution
+// order; traces and history estimators are materialized from those
+// seeds alone and shared read-only; and results are written into
+// index-addressed slots, so scheduling can change only *when* a run
+// executes, never *what* it computes or where it lands.
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/scenario"
+	"repro/internal/trace"
+)
+
+// DefaultJobs is the trace size used when neither the workload nor the
+// sweep options pin one.
+const DefaultJobs = 2000
+
+// Workers resolves a requested worker count: positive values pass
+// through, anything else becomes GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(0..n-1) across a pool of workers and returns the results
+// in index order. The error is the join of every per-index error (nil
+// when all succeed); results at failed indices hold fn's zero-valued
+// return. Output is independent of the worker count and of goroutine
+// scheduling as long as fn(i) depends only on i and read-only state.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			results[i], errs[i] = fn(i)
+		}
+		return results, errors.Join(errs...)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				results[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return results, errors.Join(errs...)
+}
+
+// DeriveSeed deterministically derives the seed for run index i from a
+// base seed: two SplitMix64 finalization rounds over (baseSeed,
+// runIndex). Parallel and serial sweeps therefore assign identical
+// seeds regardless of scheduling, and adjacent indices land in
+// statistically independent streams.
+func DeriveSeed(base uint64, index int) uint64 {
+	mix := func(z uint64) uint64 {
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	z := mix(base + 0x9e3779b97f4a7c15)
+	return mix(z + (uint64(index)+1)*0x9e3779b97f4a7c15)
+}
+
+// Run is one sweep entry: a scenario plus an optional pinned seed.
+// With Pinned set, Seed is used verbatim (any value, including 0);
+// otherwise the seed derives from the sweep's base seed and the run
+// index. Paired comparisons (the same trace under two policies) pin
+// the same seed on both entries.
+type Run struct {
+	Scenario scenario.Scenario
+	Seed     uint64
+	Pinned   bool
+}
+
+// Pin returns a run that executes the scenario under exactly the given
+// seed.
+func Pin(sc scenario.Scenario, seed uint64) Run {
+	return Run{Scenario: sc, Seed: seed, Pinned: true}
+}
+
+// Outcome is one run's result. Err is per-run: a failing run never
+// aborts its siblings.
+type Outcome struct {
+	Name   string
+	Seed   uint64
+	Result *engine.Result
+	Err    error
+}
+
+// Options configures a scenario sweep.
+type Options struct {
+	// BaseSeed feeds DeriveSeed for runs without a pinned seed.
+	BaseSeed uint64
+	// DefaultJobs sizes workloads that do not pin their own size
+	// (0 means DefaultJobs).
+	DefaultJobs int
+	// Workers is the pool size (0 means GOMAXPROCS).
+	Workers int
+}
+
+// traceKey identifies a materialized trace: workloads are comparable
+// value types, so identical (seed, workload) pairs share one trace.
+type traceKey struct {
+	seed uint64
+	w    scenario.Workload
+}
+
+// estKey identifies a history estimator: the trace plus the estimation
+// length limits.
+type estKey struct {
+	tk     traceKey
+	limits string
+}
+
+// Scenarios materializes and executes a scenario list. Traces are
+// generated once per distinct (seed, workload) pair and history
+// estimators once per distinct (trace, limits) pair — both fanned over
+// the pool — then every engine run executes in parallel against the
+// shared read-only inputs. The returned slice is index-aligned with
+// runs; output is byte-identical for any worker count.
+func Scenarios(runs []Run, opt Options) []Outcome {
+	n := len(runs)
+	outs := make([]Outcome, n)
+	seeds := make([]uint64, n)
+	for i, r := range runs {
+		seeds[i] = r.Seed
+		if !r.Pinned {
+			seeds[i] = DeriveSeed(opt.BaseSeed, i)
+		}
+		name := r.Scenario.Name
+		if name == "" {
+			name = fmt.Sprintf("run-%d", i)
+		}
+		outs[i] = Outcome{Name: name, Seed: seeds[i]}
+	}
+	defaultJobs := opt.DefaultJobs
+	if defaultJobs <= 0 {
+		defaultJobs = DefaultJobs
+	}
+
+	// Phase 1: materialize each distinct workload once, in parallel.
+	var traceOrder []traceKey
+	traceIdx := make(map[traceKey]int, n)
+	for i, r := range runs {
+		k := traceKey{seed: seeds[i], w: r.Scenario.Workload}
+		if _, ok := traceIdx[k]; !ok {
+			traceIdx[k] = len(traceOrder)
+			traceOrder = append(traceOrder, k)
+		}
+	}
+	traces, _ := Map(len(traceOrder), opt.Workers, func(i int) (*trace.Trace, error) {
+		k := traceOrder[i]
+		return k.w.Materialize(k.seed, defaultJobs), nil
+	})
+
+	// Phase 2: build each distinct history estimator once, in parallel.
+	// Estimators always see the full trace (including the service tier),
+	// the paper's estimate-from-the-whole-history methodology.
+	var estOrder []estKey
+	estIdx := make(map[estKey]int, n)
+	for i, r := range runs {
+		if r.Scenario.Estimates != engine.EstimatePriority {
+			continue
+		}
+		k := estKey{
+			tk:     traceKey{seed: seeds[i], w: r.Scenario.Workload},
+			limits: fmt.Sprint(r.Scenario.EffectiveLimits()),
+		}
+		if _, ok := estIdx[k]; !ok {
+			estIdx[k] = len(estOrder)
+			estOrder = append(estOrder, k)
+		}
+	}
+	estLimits := make([][]float64, len(estOrder))
+	for i, r := range runs {
+		if r.Scenario.Estimates != engine.EstimatePriority {
+			continue
+		}
+		k := estKey{
+			tk:     traceKey{seed: seeds[i], w: r.Scenario.Workload},
+			limits: fmt.Sprint(r.Scenario.EffectiveLimits()),
+		}
+		estLimits[estIdx[k]] = r.Scenario.EffectiveLimits()
+	}
+	estimators, _ := Map(len(estOrder), opt.Workers, func(i int) (*core.HistoryEstimator, error) {
+		k := estOrder[i]
+		return trace.BuildEstimator(traces[traceIdx[k.tk]], estLimits[i]), nil
+	})
+
+	// Phase 3: fan the engine runs across the pool.
+	Map(n, opt.Workers, func(i int) (struct{}, error) {
+		sc := runs[i].Scenario
+		cfg, err := sc.EngineConfig(seeds[i])
+		if err != nil {
+			outs[i].Err = err
+			return struct{}{}, nil
+		}
+		tk := traceKey{seed: seeds[i], w: sc.Workload}
+		tr := traces[traceIdx[tk]]
+		replay := tr
+		if !sc.ReplayAll {
+			replay = tr.BatchJobs()
+		}
+		var est *core.HistoryEstimator
+		if cfg.Estimates == engine.EstimatePriority {
+			est = estimators[estIdx[estKey{tk: tk, limits: fmt.Sprint(sc.EffectiveLimits())}]]
+		}
+		outs[i].Result, outs[i].Err = engine.RunWithEstimator(cfg, replay, est)
+		return struct{}{}, nil
+	})
+	return outs
+}
+
+// Results unwraps a sweep's outcomes into engine results, failing on
+// the first per-run error (wrapped with the run name).
+func Results(outs []Outcome) ([]*engine.Result, error) {
+	results := make([]*engine.Result, len(outs))
+	for i, out := range outs {
+		if out.Err != nil {
+			return nil, fmt.Errorf("sweep: %s: %w", out.Name, out.Err)
+		}
+		results[i] = out.Result
+	}
+	return results, nil
+}

@@ -1,0 +1,167 @@
+package sweep
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/scenario"
+)
+
+func TestMapOrderAndErrors(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		vals, err := Map(10, workers, func(i int) (int, error) {
+			if i == 4 {
+				return 0, fmt.Errorf("boom at %d", i)
+			}
+			return i * i, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: error from index 4 lost", workers)
+		}
+		for i, v := range vals {
+			want := i * i
+			if i == 4 {
+				want = 0
+			}
+			if v != want {
+				t.Fatalf("workers=%d: vals[%d] = %d, want %d", workers, i, v, want)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	vals, err := Map(0, 4, func(i int) (int, error) { return 1, nil })
+	if err != nil || vals != nil {
+		t.Fatalf("empty map: %v, %v", vals, err)
+	}
+}
+
+func TestDeriveSeedDeterministicAndDistinct(t *testing.T) {
+	seen := make(map[uint64]int)
+	for i := 0; i < 1000; i++ {
+		s := DeriveSeed(42, i)
+		if s != DeriveSeed(42, i) {
+			t.Fatal("DeriveSeed not deterministic")
+		}
+		if j, dup := seen[s]; dup {
+			t.Fatalf("seed collision between indices %d and %d", j, i)
+		}
+		seen[s] = i
+	}
+	if DeriveSeed(1, 0) == DeriveSeed(2, 0) {
+		t.Fatal("base seed ignored")
+	}
+}
+
+// fingerprint flattens the scheduling-independent content of a result
+// for exact comparison: per-job identity, WPR, wall, failure and
+// checkpoint counts, plus the aggregate makespan and event count.
+func fingerprint(r *engine.Result) []string {
+	out := []string{fmt.Sprintf("%s|%v|%d", r.PolicyName, r.MakespanSec, r.Events)}
+	for _, jr := range r.Jobs {
+		ck := 0
+		for _, tr := range jr.Tasks {
+			ck += tr.Checkpoints
+		}
+		out = append(out, fmt.Sprintf("%s|%v|%v|%d|%d",
+			jr.Job.ID, jr.WPR(), jr.Wall(), jr.Failures(), ck))
+	}
+	return out
+}
+
+// The acceptance property of the sweep layer: the same scenario set run
+// with 1 worker and with N workers yields identical engine.Results.
+func TestScenariosSerialParallelIdentical(t *testing.T) {
+	runs := []Run{
+		// A pinned-seed pair sharing one trace (the paired-comparison
+		// shape used by the figures)...
+		Pin(scenario.Scenario{Name: "f3", Policy: "formula3", Workload: scenario.Workload{Jobs: 300}}, 7),
+		Pin(scenario.Scenario{Name: "young", Policy: "young", Workload: scenario.Workload{Jobs: 300}}, 7),
+		// ...plus derived-seed runs over distinct workloads and modes.
+		{Scenario: scenario.Scenario{Name: "flip", Policy: "formula3", Dynamic: true,
+			Workload: scenario.Workload{Jobs: 200, PriorityChangeFraction: 1}}},
+		{Scenario: scenario.Scenario{Name: "oracle", Policy: "formula3", Estimates: engine.EstimateOracle,
+			Workload: scenario.Workload{Jobs: 200}}},
+		{Scenario: scenario.Scenario{Name: "crash", Policy: "none", HostMTBF: 2000,
+			Workload: scenario.Workload{Jobs: 150}}},
+	}
+	opts := func(workers int) Options {
+		return Options{BaseSeed: 123, DefaultJobs: 200, Workers: workers}
+	}
+	serial := Scenarios(runs, opts(1))
+	for _, workers := range []int{2, 8} {
+		parallel := Scenarios(runs, opts(workers))
+		if len(parallel) != len(serial) {
+			t.Fatalf("workers=%d: %d outcomes, want %d", workers, len(parallel), len(serial))
+		}
+		for i := range serial {
+			if serial[i].Err != nil || parallel[i].Err != nil {
+				t.Fatalf("run %s errored: %v / %v", serial[i].Name, serial[i].Err, parallel[i].Err)
+			}
+			if serial[i].Seed != parallel[i].Seed {
+				t.Fatalf("run %s: seed %d vs %d", serial[i].Name, serial[i].Seed, parallel[i].Seed)
+			}
+			a, b := fingerprint(serial[i].Result), fingerprint(parallel[i].Result)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("workers=%d: run %s diverged from serial execution", workers, serial[i].Name)
+			}
+		}
+	}
+}
+
+// Pinned-seed runs over the same workload must replay the same trace:
+// the job sets of the two results must align pairwise.
+func TestScenariosSharedTraceAligns(t *testing.T) {
+	runs := []Run{
+		Pin(scenario.Scenario{Name: "a", Policy: "formula3", Workload: scenario.Workload{Jobs: 250}}, 11),
+		Pin(scenario.Scenario{Name: "b", Policy: "young", Workload: scenario.Workload{Jobs: 250}}, 11),
+	}
+	outs := Scenarios(runs, Options{Workers: 2})
+	res, err := Results(outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.PairJobs(res[0], res[1]); err != nil {
+		t.Fatalf("pinned-seed runs diverged: %v", err)
+	}
+}
+
+// Pinned seed 0 must be honored verbatim — 0 is a valid seed, not a
+// derive-me sentinel — and both pinned-0 runs must share one trace.
+func TestScenariosPinnedZeroSeed(t *testing.T) {
+	runs := []Run{
+		Pin(scenario.Scenario{Name: "a", Policy: "formula3", Workload: scenario.Workload{Jobs: 120}}, 0),
+		Pin(scenario.Scenario{Name: "b", Policy: "young", Workload: scenario.Workload{Jobs: 120}}, 0),
+	}
+	outs := Scenarios(runs, Options{BaseSeed: 99, Workers: 2})
+	res, err := Results(outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Seed != 0 || outs[1].Seed != 0 {
+		t.Fatalf("pinned seed 0 rewritten to %d/%d", outs[0].Seed, outs[1].Seed)
+	}
+	if _, err := engine.PairJobs(res[0], res[1]); err != nil {
+		t.Fatalf("pinned-0 runs replayed different traces: %v", err)
+	}
+}
+
+func TestScenariosBadPolicyIsPerRunError(t *testing.T) {
+	runs := []Run{
+		{Scenario: scenario.Scenario{Name: "ok", Policy: "formula3", Workload: scenario.Workload{Jobs: 100}}},
+		{Scenario: scenario.Scenario{Name: "bad", Policy: "quantum", Workload: scenario.Workload{Jobs: 100}}},
+	}
+	outs := Scenarios(runs, Options{BaseSeed: 5, Workers: 2})
+	if outs[0].Err != nil {
+		t.Fatalf("healthy run poisoned: %v", outs[0].Err)
+	}
+	if outs[1].Err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := Results(outs); err == nil {
+		t.Fatal("Results swallowed the per-run error")
+	}
+}
