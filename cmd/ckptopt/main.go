@@ -17,9 +17,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/blcr"
-	"repro/internal/core"
-	"repro/internal/tables"
+	"repro/sim"
 )
 
 func main() {
@@ -46,23 +44,7 @@ func main() {
 		if *mnof <= 0 {
 			fail("ckptopt: -advise requires -mnof")
 		}
-		costs := core.StorageCosts{
-			Cl: blcr.CheckpointCostLocal(*mem),
-			Rl: blcr.RestartCost(*mem, blcr.MigrationA),
-			Cs: blcr.CheckpointCostNFS(*mem),
-			Rs: blcr.RestartCost(*mem, blcr.MigrationB),
-		}
-		choice, local, shared := core.CompareStorage(*te, *mnof, costs)
-		t := &tables.Table{
-			Title:   "Section 4.2.2 storage advisor",
-			Headers: []string{"device", "C (s)", "R (s)", "x*", "expected overhead (s)"},
-		}
-		xl := core.OptimalIntervals(*te, *mnof, costs.Cl)
-		xs := core.OptimalIntervals(*te, *mnof, costs.Cs)
-		t.AddRowValues("local ramdisk", costs.Cl, costs.Rl, xl, local)
-		t.AddRowValues("shared disk", costs.Cs, costs.Rs, xs, shared)
-		fmt.Print(t.String())
-		fmt.Printf("recommendation: %s\n", choice)
+		fmt.Print(sim.AdviseStorage(*te, *mnof, *mem))
 		return
 	}
 
@@ -71,11 +53,11 @@ func main() {
 		if *mem <= 0 {
 			fail("ckptopt: provide -c or -mem")
 		}
-		cost = blcr.CheckpointCostLocal(*mem)
+		cost = sim.CheckpointCostLocal(*mem)
 	}
 	restart := *r
 	if restart <= 0 && *mem > 0 {
-		restart = blcr.RestartCost(*mem, blcr.MigrationA)
+		restart = sim.RestartCostLocal(*mem)
 	}
 
 	switch *formula {
@@ -83,29 +65,29 @@ func main() {
 		if *mnof <= 0 {
 			fail("ckptopt: formula3 requires -mnof")
 		}
-		x := core.OptimalIntervals(*te, *mnof, cost)
-		n := core.OptimalIntervalCount(*te, *mnof, cost)
+		x := sim.OptimalIntervals(*te, *mnof, cost)
+		n := sim.OptimalIntervalCount(*te, *mnof, cost)
 		fmt.Printf("Formula (3): x* = %.3f -> %d intervals (%d checkpoints)\n", x, n, n-1)
 		fmt.Printf("interval length: %.2f s\n", *te/float64(n))
 		fmt.Printf("expected wall-clock (Eq. 4): %.2f s (overhead %.2f s)\n",
-			core.ExpectedWallClock(*te, *mnof, cost, restart, float64(n)),
-			core.ExpectedOverhead(*te, *mnof, cost, restart, float64(n)))
-		if pos := core.CheckpointPositions(*te, n); len(pos) > 0 {
+			sim.ExpectedWallClock(*te, *mnof, cost, restart, float64(n)),
+			sim.ExpectedOverhead(*te, *mnof, cost, restart, float64(n)))
+		if pos := sim.CheckpointPositions(*te, n); len(pos) > 0 {
 			fmt.Printf("checkpoint positions (s): %v\n", pos)
 		}
 	case "young":
 		if *mtbf <= 0 {
 			fail("ckptopt: young requires -mtbf")
 		}
-		interval := core.YoungInterval(cost, *mtbf)
-		n := core.IntervalsFromLength(*te, interval)
+		interval := sim.YoungInterval(cost, *mtbf)
+		n := sim.IntervalsFromLength(*te, interval)
 		fmt.Printf("Young (1974): Tc = sqrt(2*C*Tf) = %.2f s -> %d intervals\n", interval, n)
 	case "daly":
 		if *mtbf <= 0 {
 			fail("ckptopt: daly requires -mtbf")
 		}
-		interval := core.DalyInterval(cost, *mtbf)
-		n := core.IntervalsFromLength(*te, interval)
+		interval := sim.DalyInterval(cost, *mtbf)
+		n := sim.IntervalsFromLength(*te, interval)
 		fmt.Printf("Daly (2006): Topt = %.2f s -> %d intervals\n", interval, n)
 	default:
 		fail("ckptopt: unknown -formula " + *formula)

@@ -10,9 +10,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/stats"
-	"repro/internal/tables"
-	"repro/internal/trace"
+	"repro/sim"
 )
 
 func main() {
@@ -34,23 +32,25 @@ func main() {
 			fatal(err)
 		}
 		defer f.Close()
-		tr, err := trace.Read(f)
+		tr, err := sim.ReadTrace(f)
 		if err != nil {
 			fatal(err)
 		}
-		printStats(tr)
+		fmt.Fprint(os.Stderr, tr.Summary())
 		return
 	}
 
-	cfg := trace.GenConfig{
+	tr, err := sim.GenerateTrace(sim.TraceConfig{
 		Seed:                   *seed,
-		NumJobs:                *jobs,
+		Jobs:                   *jobs,
 		ArrivalRate:            *rate,
 		BoTFraction:            *botFrac,
-		MaxTaskLength:          *maxLen,
+		MaxTaskLengthSec:       *maxLen,
 		PriorityChangeFraction: *changeFrac,
+	})
+	if err != nil {
+		fatal(err)
 	}
-	tr := trace.Generate(cfg)
 
 	w := os.Stdout
 	if *out != "" {
@@ -66,53 +66,9 @@ func main() {
 	}
 	if *out != "" {
 		fmt.Fprintf(os.Stderr, "wrote %d jobs (%d tasks) to %s\n",
-			len(tr.Jobs), len(tr.Tasks()), *out)
-		printStats(tr)
+			tr.NumJobs(), tr.NumTasks(), *out)
+		fmt.Fprint(os.Stderr, tr.Summary())
 	}
-}
-
-func printStats(tr *trace.Trace) {
-	var lens, mems []float64
-	byPriority := make(map[int]int)
-	st, bot := 0, 0
-	for _, j := range tr.Jobs {
-		if j.Structure == trace.Sequential {
-			st++
-		} else {
-			bot++
-		}
-		byPriority[j.Priority]++
-	}
-	for _, t := range tr.Tasks() {
-		lens = append(lens, t.LengthSec)
-		mems = append(mems, t.MemMB)
-	}
-	ls, ms := stats.Summarize(lens), stats.Summarize(mems)
-
-	t := &tables.Table{
-		Title:   "trace summary",
-		Headers: []string{"metric", "value"},
-	}
-	t.AddRowValues("jobs", len(tr.Jobs))
-	t.AddRowValues("tasks", len(lens))
-	t.AddRowValues("ST jobs", st)
-	t.AddRowValues("BoT jobs", bot)
-	t.AddRowValues("task length median (s)", ls.Median)
-	t.AddRowValues("task length p95 (s)", ls.P95)
-	t.AddRowValues("task memory median (MB)", ms.Median)
-	t.AddRowValues("task memory p95 (MB)", ms.P95)
-	fmt.Fprint(os.Stderr, t.String())
-
-	pt := &tables.Table{
-		Title:   "jobs by priority",
-		Headers: []string{"priority", "jobs"},
-	}
-	for _, p := range trace.PriorityOrder {
-		if byPriority[p] > 0 {
-			pt.AddRowValues(p, byPriority[p])
-		}
-	}
-	fmt.Fprint(os.Stderr, pt.String())
 }
 
 func fatal(err error) {

@@ -6,62 +6,60 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"sort"
+	"strings"
 
-	"repro/internal/core"
-	"repro/internal/dist"
-	"repro/internal/trace"
+	"repro/sim"
 )
 
 func main() {
-	tr := trace.Generate(trace.DefaultGenConfig(20130601, 2500))
-	all := trace.FailureIntervalSamples(tr, 0)
-	short := trace.FailureIntervalSamples(tr, 1000)
+	tr, err := sim.GenerateTrace(sim.DefaultTraceConfig(20130601, 2500))
+	if err != nil {
+		log.Fatal(err)
+	}
+	all := tr.FailureIntervals(0)
+	short := tr.FailureIntervals(1000)
 	fmt.Printf("failure intervals: %d total, %d (%.0f%%) within 1000 s\n\n",
 		len(all), len(short), 100*float64(len(short))/float64(len(all)))
 
 	show := func(name string, xs []float64) {
-		results := dist.FitAll(xs)
+		results := sim.FitFailureDistributions(xs)
 		fmt.Printf("%s:\n", name)
-		names := make([]string, 0, len(results))
-		for n := range results {
-			names = append(names, n)
-		}
-		sort.Slice(names, func(i, j int) bool { return results[names[i]].KS < results[names[j]].KS })
-		for _, n := range names {
-			r := results[n]
+		for _, r := range results {
 			if r.Err != nil {
-				fmt.Printf("  %-12s fit failed: %v\n", n, r.Err)
+				fmt.Printf("  %-12s fit failed: %v\n", r.Name, r.Err)
 				continue
 			}
-			fmt.Printf("  %-12s KS=%.4f  logL=%.0f  %s\n", n, r.KS, r.LogLikelihood, describe(r.Dist))
+			fmt.Printf("  %-12s KS=%.4f  logL=%.0f  %s\n", r.Name, r.KS, r.LogLikelihood, describe(r.Params))
 		}
-		fmt.Printf("  best fit: %s\n\n", dist.BestFit(results))
+		fmt.Printf("  best fit: %s\n\n", sim.BestFit(results))
 	}
 	show("all intervals", all)
 	show("intervals <= 1000 s", short)
 
-	if exp, ok := dist.FitAll(short)["Exponential"]; ok && exp.Err == nil {
-		lambda := exp.Dist.(dist.Exponential).Lambda
+	for _, r := range sim.FitFailureDistributions(short) {
+		if r.Name != "Exponential" || r.Err != nil {
+			continue
+		}
+		lambda := r.Params["lambda"]
 		fmt.Printf("fitted exponential rate on short intervals: lambda = %.6g (paper: 0.00423445)\n", lambda)
 		fmt.Printf("Young-style optimal interval for C=2 s: sqrt(2*C/lambda) = %.1f s (paper example: ~30.7 s)\n",
-			core.YoungInterval(2, 1/lambda))
+			sim.YoungInterval(2, 1/lambda))
 	}
 }
 
-func describe(d dist.Distribution) string {
-	switch v := d.(type) {
-	case dist.Exponential:
-		return fmt.Sprintf("lambda=%.5g", v.Lambda)
-	case dist.Pareto:
-		return fmt.Sprintf("xm=%.3g alpha=%.3g", v.Xm, v.Alpha)
-	case dist.Normal:
-		return fmt.Sprintf("mu=%.3g sigma=%.3g", v.Mu, v.Sigma)
-	case dist.Laplace:
-		return fmt.Sprintf("mu=%.3g b=%.3g", v.Mu, v.B)
-	case dist.Geometric:
-		return fmt.Sprintf("p=%.4g", v.P)
-	default:
-		return ""
+// describe renders fitted parameters as "name=value" pairs in a stable
+// order.
+func describe(params map[string]float64) string {
+	names := make([]string, 0, len(params))
+	for n := range params {
+		names = append(names, n)
 	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		parts = append(parts, fmt.Sprintf("%s=%.5g", n, params[n]))
+	}
+	return strings.Join(parts, " ")
 }

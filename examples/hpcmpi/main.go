@@ -9,16 +9,14 @@
 // per-rank MNOF (failure counts add across ranks, so E_gang(Y) =
 // sum_r E_r(Y) — the distribution-free aggregation that Formula 3
 // permits but an MTBF-based rule must re-derive), plans the coordinated
-// interval with Formula 3, and simulates the gang analytically.
+// interval with Formula 3, and simulates the gang analytically, all
+// through the public repro/sim API.
 package main
 
 import (
 	"fmt"
 
-	"repro/internal/core"
-	"repro/internal/failure"
-	"repro/internal/simeng"
-	"repro/internal/trace"
+	"repro/sim"
 )
 
 func main() {
@@ -34,7 +32,7 @@ func main() {
 		perRankMNOF := estimateRankMNOF(te)
 		gangMNOF := perRankMNOF * float64(ranks)
 
-		x := core.OptimalIntervalCount(te, gangMNOF, perRankC)
+		x := sim.OptimalIntervalCount(te, gangMNOF, perRankC)
 		interval := te / float64(x)
 
 		wall := simulateGang(ranks, te, perRankC, restartR, x)
@@ -55,12 +53,12 @@ func estimateRankMNOF(te float64) float64 {
 	const probes = 64
 	total := 0
 	for i := 0; i < probes; i++ {
-		probe := &trace.Task{
+		probe := sim.Task{
 			ID: "probe", JobID: "probe", Priority: 6,
 			LengthSec: te, MemMB: 200, FailureSeed: 0xABC0 + uint64(i),
 		}
-		proc := trace.NewFailureProcess(probe)
-		total += failure.CountIn(proc, 0, te)
+		proc := sim.NewTraceFailureProcess(probe)
+		total += sim.CountFailures(proc, 0, te)
 	}
 	return float64(total) / probes
 }
@@ -69,14 +67,14 @@ func estimateRankMNOF(te float64) float64 {
 // te/x between coordinated checkpoints; any rank failing during a
 // segment rolls the gang back to the segment start.
 func simulateGang(ranks int, te, c, r float64, x int) float64 {
-	rng := simeng.NewRNG(uint64(ranks)*7919 + 17)
-	procs := make([]failure.Process, ranks)
+	rng := sim.NewRNG(uint64(ranks)*7919 + 17)
+	procs := make([]sim.FailureProcess, ranks)
 	for i := range procs {
-		probe := &trace.Task{
+		probe := sim.Task{
 			ID: "rank", JobID: "gang", Priority: 6,
 			LengthSec: te, MemMB: 200, FailureSeed: rng.Uint64(),
 		}
-		procs[i] = trace.NewFailureProcess(probe)
+		procs[i] = sim.NewTraceFailureProcess(probe)
 	}
 	nextGangFailure := func(t float64) float64 {
 		earliest := procs[0].NextAfter(t)

@@ -1,17 +1,18 @@
 // Mapreduce: a bag-of-tasks (MapReduce-like) job on the simulated
 // cluster, demonstrating the checkpoint-storage tradeoffs of
 // Section 4.2.2 at the job level: local ramdisk vs plain NFS vs the
-// paper's DM-NFS, and the automatic per-task rule.
+// paper's DM-NFS, and the automatic per-task rule. All four variants
+// pin the same seed, so the public sweep layer materializes one trace
+// and one history estimator and every variant replays identical
+// failures.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/engine"
-	"repro/internal/storage"
-	"repro/internal/trace"
+	"repro/sim"
 )
 
 func main() {
@@ -21,47 +22,47 @@ func main() {
 	// kept small because the single-NFS variant genuinely collapses
 	// under contention — simulated congestion slows it by orders of
 	// magnitude, which is the point of the comparison.
-	cfg := trace.DefaultGenConfig(99, 120)
-	cfg.BoTFraction = 0.9
-	tr := trace.Generate(cfg)
-	est := trace.BuildEstimator(tr, trace.DefaultLengthLimits)
-	replay := tr.BatchJobs()
+	workload := sim.Workload{Jobs: 120, BoTFraction: 0.9}
 
 	type variant struct {
 		name string
-		cfg  engine.Config
+		opts []sim.Option
 	}
 	variants := []variant{
-		{"local ramdisk (migration A)", engine.Config{
-			Seed: 99, Policy: core.MNOFPolicy{}, Mode: engine.StorageLocal}},
-		{"single NFS (migration B)", engine.Config{
-			Seed: 99, Policy: core.MNOFPolicy{}, Mode: engine.StorageShared,
-			SharedKind: storage.KindNFS}},
-		{"DM-NFS (migration B)", engine.Config{
-			Seed: 99, Policy: core.MNOFPolicy{}, Mode: engine.StorageShared,
-			SharedKind: storage.KindDMNFS}},
-		{"auto (Section 4.2.2 rule)", engine.Config{
-			Seed: 99, Policy: core.MNOFPolicy{}, Mode: engine.StorageAuto,
-			SharedKind: storage.KindDMNFS}},
+		{"local ramdisk (migration A)", []sim.Option{
+			sim.WithStorage(sim.StorageLocal)}},
+		{"single NFS (migration B)", []sim.Option{
+			sim.WithStorage(sim.StorageShared), sim.WithSharedStorage(sim.SharedNFS)}},
+		{"DM-NFS (migration B)", []sim.Option{
+			sim.WithStorage(sim.StorageShared), sim.WithSharedStorage(sim.SharedDMNFS)}},
+		{"auto (Section 4.2.2 rule)", []sim.Option{
+			sim.WithStorage(sim.StorageAuto), sim.WithSharedStorage(sim.SharedDMNFS)}},
 	}
 
-	fmt.Printf("BoT-heavy workload: %d jobs (%d tasks)\n\n",
-		len(replay.Jobs), len(replay.Tasks()))
+	runs := make([]sim.Run, 0, len(variants))
 	for _, v := range variants {
-		res, err := engine.RunWithEstimator(v.cfg, replay, est)
+		opts := append([]sim.Option{
+			sim.WithWorkload(workload),
+			sim.WithPolicy(sim.Formula3()),
+		}, v.opts...)
+		s, err := sim.New(opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		var ckptCost, restartCost float64
-		var ckpts int
-		for _, jr := range res.Jobs {
-			for _, tres := range jr.Tasks {
-				ckptCost += tres.CheckpointCost
-				restartCost += tres.RestartCost
-				ckpts += tres.Checkpoints
-			}
-		}
+		runs = append(runs, sim.Pin(s, 99))
+	}
+	outs, err := sim.RunSweep(context.Background(), runs, sim.SweepOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	first := outs[0].Result
+	fmt.Printf("BoT-heavy workload: %d jobs (%d tasks)\n\n",
+		first.Summary.Jobs, first.Summary.Tasks)
+	for i, v := range variants {
+		res := outs[i].Result
 		fmt.Printf("%-28s  WPR(failing) %.3f  checkpoints %6d  ckpt cost %8.0fs  restart cost %7.0fs\n",
-			v.name, res.MeanWPR(engine.WithFailures), ckpts, ckptCost, restartCost)
+			v.name, res.MeanWPRFailing(), res.Summary.Checkpoints,
+			res.Summary.CheckpointCostSec, res.Summary.RestartCostSec)
 	}
 }

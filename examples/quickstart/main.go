@@ -1,16 +1,14 @@
 // Quickstart: plan checkpoints for one cloud task with the paper's
 // Formula (3), compare against Young's formula, and simulate a small
-// workload end to end.
+// workload end to end through the public repro/sim API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/blcr"
-	"repro/internal/core"
-	"repro/internal/engine"
-	"repro/internal/trace"
+	"repro/sim"
 )
 
 func main() {
@@ -19,36 +17,38 @@ func main() {
 	c := 2.0    // checkpoint cost, seconds
 	mnof := 2.0 // expected failures over the task (E(Y), a.k.a. MNOF)
 
-	x := core.OptimalIntervalCount(te, mnof, c)
+	x := sim.OptimalIntervalCount(te, mnof, c)
 	fmt.Printf("Formula (3): task of %.0fs with E(Y)=%.0f and C=%.0fs -> %d intervals\n",
 		te, mnof, c, x)
 	fmt.Printf("checkpoint every %.1fs at positions %v\n", te/float64(x),
-		core.CheckpointPositions(te, x))
+		sim.CheckpointPositions(te, x))
 
 	// --- 2. Compare with Young's formula (needs an MTBF instead). ---
 	mtbf := 1 / 0.00423445 // the paper's fitted rate for short Google tasks
-	young := core.YoungInterval(c, mtbf)
+	young := sim.YoungInterval(c, mtbf)
 	fmt.Printf("Young (1974): Tc = sqrt(2*C*Tf) = %.1fs for MTBF %.0fs\n", young, mtbf)
 
 	// --- 3. Pick checkpoint storage per Section 4.2.2. ---
 	memMB := 160.0
-	costs := core.StorageCosts{
-		Cl: blcr.CheckpointCostLocal(memMB),
-		Rl: blcr.RestartCost(memMB, blcr.MigrationA),
-		Cs: blcr.CheckpointCostNFS(memMB),
-		Rs: blcr.RestartCost(memMB, blcr.MigrationB),
-	}
-	choice, local, shared := core.CompareStorage(200, 2, costs)
+	costs := sim.DefaultStorageCosts(memMB)
+	choice, local, shared := sim.CompareStorage(200, 2, costs)
 	fmt.Printf("storage for a 200s/160MB task with E(Y)=2: %s (overheads %.2fs local vs %.2fs shared)\n",
 		choice, local, shared)
 
 	// --- 4. Simulate a small Google-like workload end to end. ---
-	tr := trace.Generate(trace.DefaultGenConfig(42, 200)).BatchJobs()
-	res, err := engine.Run(engine.Config{Seed: 42, Policy: core.MNOFPolicy{}}, tr)
+	s, err := sim.New(
+		sim.WithSeed(42),
+		sim.WithJobs(200),
+		sim.WithPolicy(sim.Formula3()),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := s.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("simulated %d jobs: mean WPR %.3f (failing jobs %.3f), makespan %.0fs, %d events\n",
-		len(res.Jobs), res.MeanWPR(nil), res.MeanWPR(engine.WithFailures),
+		len(res.Jobs), res.MeanWPR(), res.MeanWPRFailing(),
 		res.MakespanSec, res.Events)
 }

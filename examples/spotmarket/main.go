@@ -3,23 +3,22 @@
 // (failure) probability — the exact situation the paper's adaptive
 // Algorithm 1 targets. The example contrasts the dynamic algorithm
 // (recompute checkpoint positions when MNOF changes, Theorem 2) against
-// the static plan.
+// the static plan, first on a single controller and then across a
+// fleet, using only the public repro/sim API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/engine"
-	"repro/internal/stats"
-	"repro/internal/trace"
+	"repro/sim"
 )
 
 func main() {
 	// --- 1. The controller view: one task whose failure rate doubles. ---
 	te, c := 1200.0, 1.5
-	ctrl := core.NewAdaptive(te, c, core.Estimate{MNOF: 2}, true)
+	ctrl := sim.NewAdaptivePlan(te, c, sim.Estimate{MNOF: 2}, true)
 	fmt.Printf("initial plan: %d intervals, checkpoint every %.0fs\n",
 		ctrl.IntervalCount(), ctrl.NextCheckpointIn())
 
@@ -36,24 +35,32 @@ func main() {
 
 	// --- 2. The fleet view: a workload where every task's priority ---
 	// (hence failure distribution) flips mid-run, dynamic vs static.
-	cfg := trace.DefaultGenConfig(7, 400)
-	cfg.PriorityChangeFraction = 1.0
-	tr := trace.Generate(cfg)
-
-	dynamic, err := engine.Run(engine.Config{Seed: 7, Policy: core.MNOFPolicy{}, Dynamic: true}, tr)
+	// Both runs pin the same seed, so the sweep layer shares one trace
+	// and the comparison is paired task by task.
+	workload := sim.Workload{Jobs: 400, PriorityChangeFraction: 1.0}
+	build := func(dynamic bool) *sim.Simulation {
+		s, err := sim.New(
+			sim.WithWorkload(workload),
+			sim.WithServiceJobsReplayed(),
+			sim.WithDynamicReplanning(dynamic),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return s
+	}
+	outs, err := sim.RunSweep(context.Background(),
+		[]sim.Run{sim.Pin(build(true), 7), sim.Pin(build(false), 7)},
+		sim.SweepOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	static, err := engine.Run(engine.Config{Seed: 7, Policy: core.MNOFPolicy{}, Dynamic: false}, tr)
-	if err != nil {
-		log.Fatal(err)
-	}
+	dynamic, static := outs[0].Result, outs[1].Result
 
-	dw := dynamic.JobWPRs(engine.WithFailures)
-	sw := static.JobWPRs(engine.WithFailures)
-	ds, ss := stats.Summarize(dw), stats.Summarize(sw)
+	ds := sim.Summarize(dynamic.JobWPRs(true))
+	ss := sim.Summarize(static.JobWPRs(true))
 	fmt.Printf("\nfleet of %d jobs with mid-run bid changes (failing jobs: %d):\n",
-		len(tr.Jobs), ds.N)
+		len(dynamic.Jobs), ds.N)
 	fmt.Printf("dynamic algorithm: avg WPR %.3f, worst %.3f\n", ds.Mean, ds.Min)
 	fmt.Printf("static algorithm:  avg WPR %.3f, worst %.3f\n", ss.Mean, ss.Min)
 }

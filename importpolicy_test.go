@@ -1,0 +1,47 @@
+package repro
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestPublicConsumersAvoidInternal enforces the library boundary: every
+// binary under cmd/ and every example under examples/ must build
+// exclusively on the public repro/sim API. A repro/internal import in
+// either tree means the public surface has a gap — fix the sim package,
+// not this test.
+func TestPublicConsumersAvoidInternal(t *testing.T) {
+	for _, root := range []string{"cmd", "examples"} {
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+			if err != nil {
+				return err
+			}
+			for _, imp := range f.Imports {
+				val, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					return err
+				}
+				if val == "repro/internal" || strings.HasPrefix(val, "repro/internal/") {
+					t.Errorf("%s imports %s; cmd/ and examples/ must use the public repro/sim API", path, val)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("walking %s: %v", root, err)
+		}
+	}
+}

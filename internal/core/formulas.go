@@ -1,18 +1,3 @@
-// Package core implements the paper's primary contribution: the optimal
-// equidistant-checkpointing formula of Theorem 1 (Formula 3), its
-// relationship to Young's and Daly's formulas, the expected-wall-clock
-// model of Equation 4, the Theorem 2 recomputation rule, the local-disk
-// versus shared-disk selection rule of Section 4.2.2, and the adaptive
-// runtime controller of Algorithm 1.
-//
-// Terminology follows Table 1 of the paper:
-//
-//	Te    task execution (productive) time, excluding all overheads
-//	C     checkpointing cost per checkpoint (wall-clock increment)
-//	R     task restarting cost after a failure
-//	E(Y)  expected number of failures during the task (MNOF)
-//	Tf    mean time between failures (MTBF)
-//	x     number of equidistant checkpointing intervals
 package core
 
 import (

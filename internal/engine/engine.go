@@ -1,12 +1,14 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/failure"
 	"repro/internal/simeng"
 	"repro/internal/storage"
 	"repro/internal/trace"
@@ -91,6 +93,35 @@ type Config struct {
 	// wall-clock; the saved position lags until the write completes, and
 	// a failure mid-write rolls back to the previous completed image.
 	NonBlockingCheckpoints bool
+	// CustomEstimator, when non-nil, supersedes the Estimates mode: every
+	// per-task failure estimate is delegated to it. It is the hook the
+	// public API (repro/sim) uses to plug third-party statistics sources
+	// into the planner.
+	CustomEstimator TaskEstimator
+	// FailureModel, when non-nil, replaces the trace-driven failure
+	// process for every task. The returned process must be deterministic
+	// given the task (the oracle estimator previews a second instance and
+	// paired runs rely on identical draws).
+	FailureModel func(t *trace.Task) failure.Process
+	// LocalBackend / SharedBackend, when non-nil, replace the built-in
+	// checkpoint storage devices (Mode still decides which one each task
+	// uses). Backends are driven from the simulation goroutine only.
+	LocalBackend  storage.Backend
+	SharedBackend storage.Backend
+	// Progress, when non-nil, is invoked from the simulation goroutine
+	// roughly every ProgressEvery fired events (and once at completion)
+	// with the running event count and the simulated clock. It must not
+	// mutate simulation state.
+	Progress func(events uint64, simNow float64)
+	// ProgressEvery is the event stride between Progress calls
+	// (0 means 65536).
+	ProgressEvery uint64
+}
+
+// TaskEstimator supplies per-task failure statistics to the planner,
+// superseding the built-in history/oracle estimators when set.
+type TaskEstimator interface {
+	EstimateTask(t *trace.Task) core.Estimate
 }
 
 // Predictor estimates a task's productive length for planning.
@@ -132,6 +163,14 @@ func (c Config) withDefaults() Config {
 // from the same trace's failure history (the paper estimates MNOF/MTBF
 // from the trace it replays).
 func Run(cfg Config, tr *trace.Trace) (*Result, error) {
+	return RunContext(context.Background(), cfg, tr)
+}
+
+// RunContext is Run with cooperative cancellation: the event loop polls
+// ctx between event chunks and returns ctx.Err() (with a nil Result) as
+// soon as the context is done. The simulation runs entirely on the
+// calling goroutine, so cancellation leaks nothing.
+func RunContext(ctx context.Context, cfg Config, tr *trace.Trace) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Policy == nil {
 		return nil, fmt.Errorf("engine: Config.Policy is required")
@@ -141,15 +180,21 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 	}
 
 	var est *core.HistoryEstimator
-	if cfg.Estimates == EstimatePriority {
+	if cfg.Estimates == EstimatePriority && cfg.CustomEstimator == nil {
 		est = trace.BuildEstimator(tr, cfg.Limits)
 	}
-	return runWithEstimator(cfg, tr, est)
+	return runWithEstimator(ctx, cfg, tr, est)
 }
 
 // RunWithEstimator is Run with a caller-provided history estimator,
 // allowing history to come from a different (training) trace.
 func RunWithEstimator(cfg Config, tr *trace.Trace, est *core.HistoryEstimator) (*Result, error) {
+	return RunWithEstimatorContext(context.Background(), cfg, tr, est)
+}
+
+// RunWithEstimatorContext is RunWithEstimator with cooperative
+// cancellation (see RunContext).
+func RunWithEstimatorContext(ctx context.Context, cfg Config, tr *trace.Trace, est *core.HistoryEstimator) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Policy == nil {
 		return nil, fmt.Errorf("engine: Config.Policy is required")
@@ -157,7 +202,7 @@ func RunWithEstimator(cfg Config, tr *trace.Trace, est *core.HistoryEstimator) (
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}
-	return runWithEstimator(cfg, tr, est)
+	return runWithEstimator(ctx, cfg, tr, est)
 }
 
 type engineState struct {
@@ -218,21 +263,32 @@ func sortRunsByTaskID(runs []*taskRun) {
 	sort.Slice(runs, func(i, j int) bool { return runs[i].task.ID < runs[j].task.ID })
 }
 
-func runWithEstimator(cfg Config, tr *trace.Trace, est *core.HistoryEstimator) (*Result, error) {
+func runWithEstimator(ctx context.Context, cfg Config, tr *trace.Trace, est *core.HistoryEstimator) (*Result, error) {
 	rng := simeng.NewRNG(cfg.Seed)
 	e := &engineState{
 		cfg:    cfg,
 		sim:    simeng.NewSimulator(),
 		cl:     cluster.New(cfg.Hosts, cfg.HostMemMB),
-		local:  storage.NewLocalRamdisk(rng.Split()),
 		est:    est,
 		runs:   make(map[string]*taskRun),
 		result: &Result{PolicyName: cfg.Policy.Name()},
 	}
-	if cfg.SharedKind == storage.KindNFS {
-		e.shared = storage.NewNFS(rng.Split())
+	// The rng.Split() sequence below is part of the deterministic
+	// contract: custom backends consume the same splits as the devices
+	// they replace, so plugging one in never shifts the other streams.
+	if local := rng.Split(); cfg.LocalBackend != nil {
+		e.local = cfg.LocalBackend
 	} else {
-		e.shared = storage.NewDMNFS(rng.Split(), cfg.Hosts)
+		e.local = storage.NewLocalRamdisk(local)
+	}
+	shared := rng.Split()
+	switch {
+	case cfg.SharedBackend != nil:
+		e.shared = cfg.SharedBackend
+	case cfg.SharedKind == storage.KindNFS:
+		e.shared = storage.NewNFS(shared)
+	default:
+		e.shared = storage.NewDMNFS(shared, cfg.Hosts)
 	}
 
 	for _, job := range tr.Jobs {
@@ -247,14 +303,12 @@ func runWithEstimator(cfg Config, tr *trace.Trace, est *core.HistoryEstimator) (
 		e.armHostFailure()
 	}
 
-	if cfg.MaxSimSeconds > 0 {
-		e.sim.RunUntil(cfg.MaxSimSeconds)
-		if e.sim.Pending() > 0 {
-			return nil, fmt.Errorf("engine: simulation exceeded %v seconds with %d events pending",
-				cfg.MaxSimSeconds, e.sim.Pending())
-		}
-	} else {
-		e.sim.Run()
+	if err := e.drive(ctx); err != nil {
+		return nil, err
+	}
+	if cfg.MaxSimSeconds > 0 && e.sim.Pending() > 0 {
+		return nil, fmt.Errorf("engine: simulation exceeded %v seconds with %d events pending",
+			cfg.MaxSimSeconds, e.sim.Pending())
 	}
 
 	for _, jr := range e.result.Jobs {
@@ -272,6 +326,33 @@ func runWithEstimator(cfg Config, tr *trace.Trace, est *core.HistoryEstimator) (
 	}
 	e.result.Events = e.sim.Fired()
 	return e.result, nil
+}
+
+// drive executes the event loop in chunks, polling ctx and reporting
+// progress between chunks. The simulation never leaves the calling
+// goroutine: cancellation simply abandons the remaining queue.
+func (e *engineState) drive(ctx context.Context) error {
+	stride := e.cfg.ProgressEvery
+	if stride == 0 {
+		stride = 65536
+	}
+	for {
+		var ran uint64
+		if e.cfg.MaxSimSeconds > 0 {
+			ran = e.sim.RunUntilLimit(e.cfg.MaxSimSeconds, stride)
+		} else {
+			ran = e.sim.RunLimit(stride)
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if ran == 0 {
+			return nil
+		}
+		if e.cfg.Progress != nil {
+			e.cfg.Progress(e.sim.Fired(), e.sim.Now())
+		}
+	}
 }
 
 func (e *engineState) onJobArrival(job *trace.Job, jr *JobResult) {
@@ -343,10 +424,22 @@ func (e *engineState) onTaskDone(run *taskRun) {
 	e.scheduleDispatch()
 }
 
+// newFailureProcess builds the failure process a task runs under,
+// honoring a plugged-in failure model.
+func (e *engineState) newFailureProcess(t *trace.Task) failure.Process {
+	if e.cfg.FailureModel != nil {
+		return e.cfg.FailureModel(t)
+	}
+	return trace.NewFailureProcess(t)
+}
+
 // estimateFor produces the failure Estimate a policy sees for a task.
 func (e *engineState) estimateFor(t *trace.Task) core.Estimate {
+	if e.cfg.CustomEstimator != nil {
+		return e.cfg.CustomEstimator.EstimateTask(t)
+	}
 	if e.cfg.Estimates == EstimateOracle {
-		return oracleEstimate(t)
+		return e.oracleEstimate(t)
 	}
 	if e.est == nil {
 		return core.Estimate{}
@@ -357,9 +450,14 @@ func (e *engineState) estimateFor(t *trace.Task) core.Estimate {
 // estimateForPriority returns the group estimate a task would get if it
 // had the given priority (used on mid-run priority changes).
 func (e *engineState) estimateForPriority(t *trace.Task, priority int) core.Estimate {
+	if e.cfg.CustomEstimator != nil {
+		probe := *t
+		probe.Priority = priority
+		return e.cfg.CustomEstimator.EstimateTask(&probe)
+	}
 	if e.cfg.Estimates == EstimateOracle {
 		// The oracle already knows the switched process; re-derive.
-		return oracleEstimate(t)
+		return e.oracleEstimate(t)
 	}
 	if e.est == nil {
 		return core.Estimate{}
@@ -373,8 +471,8 @@ func (e *engineState) estimateForPriority(t *trace.Task, priority int) core.Esti
 // deterministic given its seed — over a horizon slightly beyond its
 // productive length, and returns the realized statistics: the paper's
 // "precise prediction" of MNOF and MTBF.
-func oracleEstimate(t *trace.Task) core.Estimate {
-	proc := trace.NewFailureProcess(t)
+func (e *engineState) oracleEstimate(t *trace.Task) core.Estimate {
+	proc := e.newFailureProcess(t)
 	horizon := t.LengthSec
 	var (
 		count     int
@@ -407,10 +505,10 @@ func (e *engineState) chooseBackend(t *trace.Task, est core.Estimate) storage.Ba
 		return e.shared
 	}
 	costs := core.StorageCosts{
-		Cl: storage.CheckpointCost(storage.KindLocal, t.MemMB),
-		Rl: storage.RestartCostFor(storage.KindLocal, t.MemMB),
-		Cs: storage.CheckpointCost(e.shared.Kind(), t.MemMB),
-		Rs: storage.RestartCostFor(e.shared.Kind(), t.MemMB),
+		Cl: storage.PlannedCheckpointCost(e.local, t.MemMB),
+		Rl: storage.PlannedRestartCost(e.local, t.MemMB),
+		Cs: storage.PlannedCheckpointCost(e.shared, t.MemMB),
+		Rs: storage.PlannedRestartCost(e.shared, t.MemMB),
 	}
 	mnof := est.MNOF
 	if mnof <= 0 && est.MTBF > 0 {

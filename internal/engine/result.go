@@ -1,10 +1,3 @@
-// Package engine runs Google-like workloads through the simulated
-// cluster under a checkpointing policy, reproducing the paper's
-// evaluation pipeline: jobs arrive per the trace, tasks are placed on
-// the host with maximum available memory, failures strike per each
-// task's failure process, tasks roll back to their last checkpoint and
-// restart on another host, and the per-job Workload-Processing Ratio
-// (WPR) and wall-clock length are recorded.
 package engine
 
 import (

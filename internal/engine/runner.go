@@ -128,7 +128,7 @@ func newTaskRun(e *engineState, t *trace.Task, jr *JobResult, now float64) *task
 	}
 	run.backend = e.chooseBackend(t, est)
 	run.result.UsedShared = run.backend.Kind() != storage.KindLocal
-	run.ckptCost = storage.CheckpointCost(run.backend.Kind(), t.MemMB)
+	run.ckptCost = storage.PlannedCheckpointCost(run.backend, t.MemMB)
 	run.plannedLen = t.LengthSec
 	if e.cfg.Predictor != nil {
 		run.plannedLen = e.cfg.Predictor.Predict(t)
@@ -173,7 +173,7 @@ func (r *taskRun) start(p *cluster.Placement, at float64) {
 	if !r.started {
 		r.started = true
 		r.result.StartAt = at
-		r.proc = trace.NewFailureProcess(r.task)
+		r.proc = r.eng.newFailureProcess(r.task)
 	} else if r.hasImage {
 		// Restore from the checkpoint image: restart cost by migration
 		// type (Table 5 via the backend that holds the image).

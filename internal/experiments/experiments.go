@@ -14,6 +14,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -35,6 +36,16 @@ type Opts struct {
 	// Results are byte-identical for every value; only wall-clock
 	// changes.
 	Parallel int
+	// Ctx, when non-nil, cancels engine-driven sweeps cooperatively:
+	// once done, the experiment returns its error instead of a result.
+	Ctx context.Context
+}
+
+func (o Opts) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 func (o Opts) jobs(def int) int {
@@ -115,13 +126,16 @@ func Run(id string, o Opts) (fmt.Stringer, error) {
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, Names())
 	}
+	if err := o.ctx().Err(); err != nil {
+		return nil, err
+	}
 	return r(o)
 }
 
 // runSweep executes scenario runs through the sweep worker pool sized
 // by Opts.Parallel and unwraps the results in run order.
 func runSweep(o Opts, runs []sweep.Run) ([]*engine.Result, error) {
-	return sweep.Results(sweep.Scenarios(runs, sweep.Options{
+	return sweep.Results(sweep.ScenariosContext(o.ctx(), runs, sweep.Options{
 		BaseSeed: o.Seed,
 		Workers:  o.Parallel,
 	}))

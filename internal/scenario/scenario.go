@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/failure"
 	"repro/internal/storage"
 	"repro/internal/trace"
 )
@@ -130,6 +131,25 @@ type Scenario struct {
 	Predictor engine.Predictor
 	// MaxSimSeconds aborts runaway simulations; 0 means no limit.
 	MaxSimSeconds float64
+
+	// The remaining fields carry caller-supplied implementations into
+	// the engine — the extension points the public repro/sim package
+	// fronts. They are runtime values, not data: scenarios using them
+	// are not directly serializable or cache-comparable.
+
+	// CustomPolicy, when non-nil, supersedes the Policy name.
+	CustomPolicy core.Policy
+	// CustomEstimator, when non-nil, supersedes Estimates/Limits as the
+	// planner's statistics source.
+	CustomEstimator engine.TaskEstimator
+	// FailureModel, when non-nil, replaces the trace-driven failure
+	// processes (see engine.Config.FailureModel for the determinism
+	// contract).
+	FailureModel func(t *trace.Task) failure.Process
+	// LocalBackend / SharedBackend, when non-nil, replace the built-in
+	// checkpoint storage devices.
+	LocalBackend  storage.Backend
+	SharedBackend storage.Backend
 }
 
 // PolicyByName resolves a scenario policy name to the core policy.
@@ -156,9 +176,13 @@ func PolicyByName(name string) (core.Policy, error) {
 // Workload.Materialize and internal/sweep) so several scenarios can
 // share one trace.
 func (s Scenario) EngineConfig(seed uint64) (engine.Config, error) {
-	policy, err := PolicyByName(s.Policy)
-	if err != nil {
-		return engine.Config{}, fmt.Errorf("scenario %q: %w", s.Name, err)
+	policy := s.CustomPolicy
+	if policy == nil {
+		var err error
+		policy, err = PolicyByName(s.Policy)
+		if err != nil {
+			return engine.Config{}, fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
 	}
 	return engine.Config{
 		Seed:                   seed,
@@ -177,6 +201,10 @@ func (s Scenario) EngineConfig(seed uint64) (engine.Config, error) {
 		HostRepair:             s.HostRepair,
 		Predictor:              s.Predictor,
 		NonBlockingCheckpoints: s.NonBlocking,
+		CustomEstimator:        s.CustomEstimator,
+		FailureModel:           s.FailureModel,
+		LocalBackend:           s.LocalBackend,
+		SharedBackend:          s.SharedBackend,
 	}, nil
 }
 
@@ -202,8 +230,10 @@ func Register(s Scenario) {
 	if s.Name == "" {
 		panic("scenario: Register requires a name")
 	}
-	if _, err := PolicyByName(s.Policy); err != nil {
-		panic(err)
+	if s.CustomPolicy == nil {
+		if _, err := PolicyByName(s.Policy); err != nil {
+			panic(err)
+		}
 	}
 	registryMu.Lock()
 	defer registryMu.Unlock()

@@ -153,16 +153,30 @@ func (s *Simulator) Run() {
 // RunUntil executes events with timestamps <= deadline, then advances the
 // clock to the deadline (if the deadline is later than the last event).
 func (s *Simulator) RunUntil(deadline Time) {
-	for len(s.queue) > 0 {
-		// Peek: queue[0] is the earliest event.
-		if s.queue[0].At > deadline {
-			break
-		}
-		s.Step()
+	for s.stepUntil(deadline) {
 	}
 	if deadline > s.now {
 		s.now = deadline
 	}
+}
+
+// stepUntil executes the next live event if it is due at or before
+// deadline. Canceled events are discarded during the peek, so a
+// canceled head can never trick the caller into stepping past the
+// deadline.
+func (s *Simulator) stepUntil(deadline Time) bool {
+	for len(s.queue) > 0 {
+		head := s.queue[0]
+		if head.canceled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if head.At > deadline {
+			return false
+		}
+		return s.Step()
+	}
+	return false
 }
 
 // RunLimit executes at most n events; it returns the number executed.
@@ -171,6 +185,22 @@ func (s *Simulator) RunLimit(n uint64) uint64 {
 	var done uint64
 	for done < n && s.Step() {
 		done++
+	}
+	return done
+}
+
+// RunUntilLimit executes at most n events with timestamps <= deadline
+// and returns the number executed. When the sub-deadline queue drains
+// before the budget is spent, the clock advances to the deadline (as in
+// RunUntil). Callers loop until it returns 0, interleaving their own
+// work — cancellation checks, progress reporting — between chunks.
+func (s *Simulator) RunUntilLimit(deadline Time, n uint64) uint64 {
+	var done uint64
+	for done < n && s.stepUntil(deadline) {
+		done++
+	}
+	if done < n && deadline > s.now {
+		s.now = deadline
 	}
 	return done
 }

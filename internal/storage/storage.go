@@ -339,3 +339,32 @@ func RestartCostFor(kind Kind, memMB float64) float64 {
 	}
 	return blcr.RestartCost(memMB, blcr.MigrationB)
 }
+
+// CostModel is an optional Backend extension: backends that implement
+// it supply their own planning constants C and R instead of the
+// BLCR-derived curves keyed by Kind. Third-party backends plugged in
+// through the public API implement it so the planner sees their real
+// costs.
+type CostModel interface {
+	PlannedCheckpointCost(memMB float64) float64
+	PlannedRestartCost(memMB float64) float64
+}
+
+// PlannedCheckpointCost returns the planning constant C for a backend:
+// its own cost model when it has one, the kind-keyed BLCR curve
+// otherwise.
+func PlannedCheckpointCost(b Backend, memMB float64) float64 {
+	if cm, ok := b.(CostModel); ok {
+		return cm.PlannedCheckpointCost(memMB)
+	}
+	return CheckpointCost(b.Kind(), memMB)
+}
+
+// PlannedRestartCost returns the planning constant R for a backend (see
+// PlannedCheckpointCost).
+func PlannedRestartCost(b Backend, memMB float64) float64 {
+	if cm, ok := b.(CostModel); ok {
+		return cm.PlannedRestartCost(memMB)
+	}
+	return RestartCostFor(b.Kind(), memMB)
+}

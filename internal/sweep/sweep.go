@@ -13,6 +13,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -44,6 +45,17 @@ func Workers(n int) int {
 // return. Output is independent of the worker count and of goroutine
 // scheduling as long as fn(i) depends only on i and read-only state.
 func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	return MapContext(context.Background(), n, workers, fn)
+}
+
+// MapContext is Map with cooperative cancellation. Once ctx is done,
+// workers stop claiming new indices, but every fn call already in
+// flight is drained to completion before MapContext returns — a
+// per-index error therefore never races with a worker still writing
+// into the results slice. Skipped indices record ctx.Err(), and the
+// returned error is errors.Join over every per-index error, canceled
+// and organic alike.
+func MapContext[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -55,6 +67,10 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
+			}
 			results[i], errs[i] = fn(i)
 		}
 		return results, errors.Join(errs...)
@@ -69,6 +85,10 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
 				}
 				results[i], errs[i] = fn(i)
 			}
@@ -102,6 +122,11 @@ type Run struct {
 	Scenario scenario.Scenario
 	Seed     uint64
 	Pinned   bool
+	// Trace, when non-nil, replays this exact trace instead of
+	// materializing Scenario.Workload. Explicit traces bypass the
+	// (seed, workload) sharing cache; the history estimator, when the
+	// scenario calls for one, is built from this trace per run.
+	Trace *trace.Trace
 }
 
 // Pin returns a run that executes the scenario under exactly the given
@@ -117,6 +142,8 @@ type Outcome struct {
 	Seed   uint64
 	Result *engine.Result
 	Err    error
+
+	index int // position in the sweep, for progress streaming
 }
 
 // Options configures a scenario sweep.
@@ -128,6 +155,19 @@ type Options struct {
 	DefaultJobs int
 	// Workers is the pool size (0 means GOMAXPROCS).
 	Workers int
+	// OnRunStart / OnRunDone, when non-nil, observe individual engine
+	// runs as the pool picks them up and finishes them. Both may be
+	// called concurrently from worker goroutines; neither may block for
+	// long or the pool stalls.
+	OnRunStart func(index int, name string, seed uint64)
+	OnRunDone  func(index int, out Outcome)
+	// Progress, when non-nil, streams in-run progress (fired events and
+	// the simulated clock) roughly every ProgressEvery events; same
+	// concurrency caveats as the run callbacks.
+	Progress func(index int, events uint64, simNow float64)
+	// ProgressEvery is the event stride between Progress calls
+	// (0 means the engine default).
+	ProgressEvery uint64
 }
 
 // traceKey identifies a materialized trace: workloads are comparable
@@ -151,6 +191,14 @@ type estKey struct {
 // shared read-only inputs. The returned slice is index-aligned with
 // runs; output is byte-identical for any worker count.
 func Scenarios(runs []Run, opt Options) []Outcome {
+	return ScenariosContext(context.Background(), runs, opt)
+}
+
+// ScenariosContext is Scenarios with cooperative cancellation: once ctx
+// is done, no further engine run starts, in-flight runs stop at their
+// next event chunk, and every unfinished outcome records ctx.Err().
+// In-flight workers are always drained before the call returns.
+func ScenariosContext(ctx context.Context, runs []Run, opt Options) []Outcome {
 	n := len(runs)
 	outs := make([]Outcome, n)
 	seeds := make([]uint64, n)
@@ -163,24 +211,37 @@ func Scenarios(runs []Run, opt Options) []Outcome {
 		if name == "" {
 			name = fmt.Sprintf("run-%d", i)
 		}
-		outs[i] = Outcome{Name: name, Seed: seeds[i]}
+		outs[i] = Outcome{Name: name, Seed: seeds[i], index: i}
 	}
 	defaultJobs := opt.DefaultJobs
 	if defaultJobs <= 0 {
 		defaultJobs = DefaultJobs
 	}
 
+	// wantsSharedEstimator reports whether run i consumes a cached
+	// history estimator: priority estimation without an explicit trace
+	// or a plugged-in statistics source.
+	wantsSharedEstimator := func(r Run) bool {
+		return r.Trace == nil &&
+			r.Scenario.Estimates == engine.EstimatePriority &&
+			r.Scenario.CustomEstimator == nil
+	}
+
 	// Phase 1: materialize each distinct workload once, in parallel.
+	// Runs carrying an explicit trace bypass the cache.
 	var traceOrder []traceKey
 	traceIdx := make(map[traceKey]int, n)
 	for i, r := range runs {
+		if r.Trace != nil {
+			continue
+		}
 		k := traceKey{seed: seeds[i], w: r.Scenario.Workload}
 		if _, ok := traceIdx[k]; !ok {
 			traceIdx[k] = len(traceOrder)
 			traceOrder = append(traceOrder, k)
 		}
 	}
-	traces, _ := Map(len(traceOrder), opt.Workers, func(i int) (*trace.Trace, error) {
+	traces, _ := MapContext(ctx, len(traceOrder), opt.Workers, func(i int) (*trace.Trace, error) {
 		k := traceOrder[i]
 		return k.w.Materialize(k.seed, defaultJobs), nil
 	})
@@ -191,7 +252,7 @@ func Scenarios(runs []Run, opt Options) []Outcome {
 	var estOrder []estKey
 	estIdx := make(map[estKey]int, n)
 	for i, r := range runs {
-		if r.Scenario.Estimates != engine.EstimatePriority {
+		if !wantsSharedEstimator(r) {
 			continue
 		}
 		k := estKey{
@@ -205,7 +266,7 @@ func Scenarios(runs []Run, opt Options) []Outcome {
 	}
 	estLimits := make([][]float64, len(estOrder))
 	for i, r := range runs {
-		if r.Scenario.Estimates != engine.EstimatePriority {
+		if !wantsSharedEstimator(r) {
 			continue
 		}
 		k := estKey{
@@ -214,33 +275,86 @@ func Scenarios(runs []Run, opt Options) []Outcome {
 		}
 		estLimits[estIdx[k]] = r.Scenario.EffectiveLimits()
 	}
-	estimators, _ := Map(len(estOrder), opt.Workers, func(i int) (*core.HistoryEstimator, error) {
+	estimators, _ := MapContext(ctx, len(estOrder), opt.Workers, func(i int) (*core.HistoryEstimator, error) {
 		k := estOrder[i]
-		return trace.BuildEstimator(traces[traceIdx[k.tk]], estLimits[i]), nil
+		tr := traces[traceIdx[k.tk]]
+		if tr == nil {
+			return nil, ctx.Err()
+		}
+		return trace.BuildEstimator(tr, estLimits[i]), nil
 	})
 
 	// Phase 3: fan the engine runs across the pool.
-	Map(n, opt.Workers, func(i int) (struct{}, error) {
-		sc := runs[i].Scenario
-		cfg, err := sc.EngineConfig(seeds[i])
-		if err != nil {
-			outs[i].Err = err
-			return struct{}{}, nil
+	MapContext(ctx, n, opt.Workers, func(i int) (struct{}, error) {
+		if opt.OnRunStart != nil {
+			opt.OnRunStart(i, outs[i].Name, seeds[i])
 		}
-		tk := traceKey{seed: seeds[i], w: sc.Workload}
-		tr := traces[traceIdx[tk]]
-		replay := tr
-		if !sc.ReplayAll {
-			replay = tr.BatchJobs()
+		outs[i] = runOne(ctx, runs[i], outs[i], seeds[i], opt, traces, traceIdx, estimators, estIdx)
+		if opt.OnRunDone != nil {
+			opt.OnRunDone(i, outs[i])
 		}
-		var est *core.HistoryEstimator
-		if cfg.Estimates == engine.EstimatePriority {
-			est = estimators[estIdx[estKey{tk: tk, limits: fmt.Sprint(sc.EffectiveLimits())}]]
-		}
-		outs[i].Result, outs[i].Err = engine.RunWithEstimator(cfg, replay, est)
 		return struct{}{}, nil
 	})
+	// Runs the pool never reached (cancellation) still owe an outcome.
+	if err := ctx.Err(); err != nil {
+		for i := range outs {
+			if outs[i].Result == nil && outs[i].Err == nil {
+				outs[i].Err = err
+			}
+		}
+	}
 	return outs
+}
+
+// runOne executes a single sweep entry against the shared materialized
+// inputs and returns its completed outcome.
+func runOne(ctx context.Context, r Run, out Outcome, seed uint64, opt Options,
+	traces []*trace.Trace, traceIdx map[traceKey]int,
+	estimators []*core.HistoryEstimator, estIdx map[estKey]int) Outcome {
+
+	sc := r.Scenario
+	cfg, err := sc.EngineConfig(seed)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	if opt.Progress != nil {
+		index := out.index
+		cfg.Progress = func(events uint64, now float64) { opt.Progress(index, events, now) }
+	}
+	// The stride also paces the engine's ctx-cancellation polls, so it
+	// applies with or without a progress callback.
+	cfg.ProgressEvery = opt.ProgressEvery
+
+	tr := r.Trace
+	if tr == nil {
+		tr = traces[traceIdx[traceKey{seed: seed, w: sc.Workload}]]
+		if tr == nil { // materialization was skipped by cancellation
+			out.Err = ctx.Err()
+			return out
+		}
+	}
+	replay := tr
+	if !sc.ReplayAll {
+		replay = tr.BatchJobs()
+	}
+	var est *core.HistoryEstimator
+	if cfg.Estimates == engine.EstimatePriority && cfg.CustomEstimator == nil {
+		if r.Trace != nil {
+			est = trace.BuildEstimator(tr, sc.EffectiveLimits())
+		} else {
+			est = estimators[estIdx[estKey{
+				tk:     traceKey{seed: seed, w: sc.Workload},
+				limits: fmt.Sprint(sc.EffectiveLimits()),
+			}]]
+			if est == nil {
+				out.Err = ctx.Err()
+				return out
+			}
+		}
+	}
+	out.Result, out.Err = engine.RunWithEstimatorContext(ctx, cfg, replay, est)
+	return out
 }
 
 // Results unwraps a sweep's outcomes into engine results, failing on

@@ -1,0 +1,106 @@
+package sim_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/sim"
+)
+
+// bigSim builds a simulation heavy enough to outlive a mid-flight
+// cancellation on any machine.
+func bigSim(t *testing.T) *sim.Simulation {
+	t.Helper()
+	s, err := sim.New(
+		sim.WithSeed(11),
+		sim.WithJobs(4000),
+		sim.WithProgressEvery(1024), // tight ctx-poll stride
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// settleGoroutines polls until the goroutine count returns to at most
+// base (helper goroutines like timer callbacks need a moment to exit).
+func settleGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", base, n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestRunCancellationStopsPromptly(t *testing.T) {
+	s := bigSim(t)
+	base := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(30*time.Millisecond, cancel)
+	start := time.Now()
+	res, err := s.Run(ctx)
+	elapsed := time.Since(start)
+
+	if res != nil {
+		t.Fatalf("canceled Run returned a result (%d jobs)", len(res.Jobs))
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// "Promptly": the run must stop at the next event chunk, not finish
+	// the remaining thousands of jobs. The full run takes seconds; allow
+	// generous slack for slow CI machines.
+	if elapsed > 3*time.Second {
+		t.Errorf("Run took %v after a 30ms cancellation", elapsed)
+	}
+	settleGoroutines(t, base)
+}
+
+func TestRunSweepCancellationDrainsAndReports(t *testing.T) {
+	s := bigSim(t)
+	base := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(30*time.Millisecond, cancel)
+	runs := make([]sim.Run, 6)
+	for i := range runs {
+		runs[i] = sim.Run{Sim: s}
+	}
+	outs, err := sim.RunSweep(ctx, runs, sim.SweepOptions{BaseSeed: 7, Workers: 3})
+
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in the join", err)
+	}
+	if len(outs) != len(runs) {
+		t.Fatalf("got %d outcomes for %d runs", len(outs), len(runs))
+	}
+	for i, out := range outs {
+		if out.Result == nil && out.Err == nil {
+			t.Errorf("outcome %d has neither result nor error after cancellation", i)
+		}
+		if out.Err != nil && !errors.Is(out.Err, context.Canceled) {
+			t.Errorf("outcome %d: err = %v, want context.Canceled", i, out.Err)
+		}
+	}
+	settleGoroutines(t, base)
+}
+
+func TestRunExperimentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sim.RunExperiment(ctx, "fig9", sim.ExperimentOptions{Seed: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,60 @@
+// Package sim is the public, supported API of this repository: a
+// composable facade over the internal discrete-event engine, the
+// declarative scenario layer, and the deterministic parallel sweep
+// executor that reproduce conf_sc_DiRVKWC13's MNOF-based optimal
+// checkpointing study.
+//
+// # Building and running a simulation
+//
+// A Simulation is assembled from functional options and executed with a
+// context:
+//
+//	s, err := sim.New(
+//		sim.WithSeed(42),
+//		sim.WithJobs(500),
+//		sim.WithPolicy(sim.Formula3()),
+//		sim.WithCluster(32, 7*1024),
+//	)
+//	if err != nil {
+//		log.Fatal(err)
+//	}
+//	res, err := s.Run(context.Background())
+//	if err != nil {
+//		log.Fatal(err)
+//	}
+//	fmt.Printf("mean WPR %.3f over %d jobs\n", res.MeanWPR(), len(res.Jobs))
+//
+// Run executes entirely on the calling goroutine; canceling the context
+// stops the event loop at its next chunk and returns ctx.Err() without
+// leaking anything. RunSweep fans many Simulations across a worker pool
+// with byte-identical results for every worker count, sharing
+// materialized traces and history estimators between runs that agree on
+// (seed, workload).
+//
+// # Extension points
+//
+// Third-party implementations plug in through small public interfaces:
+// Policy (checkpoint-interval planning), Estimator (failure
+// statistics), FailureModel (failure processes), Predictor (planned
+// task lengths), and StorageBackend (checkpoint devices). Each adapts
+// onto the corresponding internal seam; the built-in implementations
+// are available through constructors such as Formula3, Young, and Daly.
+//
+// # Results
+//
+// Run produces a stable Result — per-job and per-task outcomes, the
+// paper's Workload-Processing Ratio, and aggregate fault-tolerance
+// accounting — that marshals to JSON, so downstream tooling does not
+// need Go at all. Sweeps yield one Outcome per run with the same
+// property.
+//
+// # Beyond single runs
+//
+// The package also fronts the rest of the reproduction so binaries and
+// examples never import repro/internal: checkpoint planning formulas
+// (OptimalIntervalCount, YoungInterval, AdviseStorage, AdaptivePlan),
+// synthetic trace generation and serialization (GenerateTrace,
+// ReadTrace), distribution fitting (FitFailureDistributions), the named
+// scenario registry (ScenarioByName), and the full experiment registry
+// reproducing every figure and table (RunExperiment, RunExperiments).
+package sim

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"sort"
+
+	"repro/internal/dist"
+)
+
+// FitResult is one candidate family's maximum-likelihood fit to a
+// sample, scored by Kolmogorov-Smirnov distance (the paper's Figure 5
+// model selection).
+type FitResult struct {
+	// Name is the family name: "Exponential", "Pareto", "Normal",
+	// "Laplace", or "Geometric".
+	Name string `json:"name"`
+	// KS is the Kolmogorov-Smirnov distance of the fit (lower is
+	// better); LogLikelihood is the sample log-likelihood.
+	KS            float64 `json:"ks"`
+	LogLikelihood float64 `json:"log_likelihood"`
+	// Params holds the fitted parameters by conventional name
+	// (e.g. "lambda" for Exponential, "xm"/"alpha" for Pareto).
+	Params map[string]float64 `json:"params,omitempty"`
+	// Err is non-nil when the family could not be fitted to the sample.
+	Err error `json:"-"`
+}
+
+// FitFailureDistributions fits the paper's five candidate families to
+// the sample by maximum likelihood. Successful fits come first, sorted
+// by ascending KS distance; failed fits follow, sorted by name.
+func FitFailureDistributions(samples []float64) []FitResult {
+	results := dist.FitAll(samples)
+	out := make([]FitResult, 0, len(results))
+	for name, r := range results {
+		fr := FitResult{
+			Name:          name,
+			KS:            r.KS,
+			LogLikelihood: r.LogLikelihood,
+			Err:           r.Err,
+		}
+		if r.Err == nil {
+			fr.Params = distParams(r.Dist)
+		}
+		out = append(out, fr)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		oki, okj := out[i].Err == nil, out[j].Err == nil
+		if oki != okj {
+			return oki
+		}
+		if oki && out[i].KS != out[j].KS {
+			return out[i].KS < out[j].KS
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// BestFit returns the name of the lowest-KS successful fit, or "" when
+// every family failed.
+func BestFit(results []FitResult) string {
+	for _, r := range results {
+		if r.Err == nil {
+			return r.Name
+		}
+	}
+	return ""
+}
+
+func distParams(d dist.Distribution) map[string]float64 {
+	switch v := d.(type) {
+	case dist.Exponential:
+		return map[string]float64{"lambda": v.Lambda}
+	case dist.Pareto:
+		return map[string]float64{"xm": v.Xm, "alpha": v.Alpha}
+	case dist.Normal:
+		return map[string]float64{"mu": v.Mu, "sigma": v.Sigma}
+	case dist.Laplace:
+		return map[string]float64{"mu": v.Mu, "b": v.B}
+	case dist.Geometric:
+		return map[string]float64{"p": v.P}
+	default:
+		return nil
+	}
+}

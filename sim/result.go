@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"repro/internal/engine"
+	"repro/internal/stats"
+)
+
+// TaskOutcome is one task's execution record, decomposing wall-clock
+// time exactly as the paper's Formula 1: productive time, checkpoint
+// overhead, rollback and restart losses, and waiting.
+type TaskOutcome struct {
+	ID        string  `json:"id"`
+	Priority  int     `json:"priority"`
+	LengthSec float64 `json:"length_sec"`
+	MemMB     float64 `json:"mem_mb"`
+	// SubmitAt / StartAt / DoneAt are simulated timestamps (seconds).
+	SubmitAt float64 `json:"submit_at"`
+	StartAt  float64 `json:"start_at"`
+	DoneAt   float64 `json:"done_at"`
+	// WallSec is DoneAt-StartAt; WPR is LengthSec/WallSec (the paper's
+	// task-level workload-processing ratio).
+	WallSec float64 `json:"wall_sec"`
+	WPR     float64 `json:"wpr"`
+	// Failures counts failure events; Checkpoints counts completed
+	// checkpoint images.
+	Failures    int `json:"failures"`
+	Checkpoints int `json:"checkpoints"`
+	// RollbackLossSec is productive time lost to rollbacks;
+	// CheckpointCostSec is blocking checkpoint write time;
+	// HiddenCheckpointCostSec is non-blocking write time overlapped
+	// with computation; RestartCostSec is restart time; WaitSec is time
+	// spent queued for resources.
+	RollbackLossSec         float64 `json:"rollback_loss_sec"`
+	CheckpointCostSec       float64 `json:"checkpoint_cost_sec"`
+	HiddenCheckpointCostSec float64 `json:"hidden_checkpoint_cost_sec,omitempty"`
+	RestartCostSec          float64 `json:"restart_cost_sec"`
+	WaitSec                 float64 `json:"wait_sec"`
+	// UsedSharedStorage reports whether checkpoints went to the shared
+	// backend.
+	UsedSharedStorage bool `json:"used_shared_storage"`
+}
+
+// JobOutcome is one job's execution record.
+type JobOutcome struct {
+	ID string `json:"id"`
+	// Structure is "ST" (sequential tasks) or "BoT" (bag of tasks).
+	Structure  string  `json:"structure"`
+	Priority   int     `json:"priority"`
+	ArrivalSec float64 `json:"arrival_sec"`
+	DoneAt     float64 `json:"done_at"`
+	// WallSec is submission-to-completion; WPR is the job's
+	// Workload-Processing Ratio (Formula 9 aggregated over tasks).
+	WallSec  float64       `json:"wall_sec"`
+	WPR      float64       `json:"wpr"`
+	Failures int           `json:"failures"`
+	Tasks    []TaskOutcome `json:"tasks"`
+}
+
+// ResultSummary aggregates a run for at-a-glance consumption.
+type ResultSummary struct {
+	Jobs  int `json:"jobs"`
+	Tasks int `json:"tasks"`
+	// MeanWPR averages per-job WPR over all jobs; MeanWPRFailing over
+	// jobs that experienced at least one failure (the population the
+	// paper's WPR plots focus on).
+	MeanWPR        float64 `json:"mean_wpr"`
+	MeanWPRFailing float64 `json:"mean_wpr_failing"`
+	FailingJobs    int     `json:"failing_jobs"`
+	Failures       int     `json:"failures"`
+	Checkpoints    int     `json:"checkpoints"`
+	// CheckpointCostSec sums blocking checkpoint write time across all
+	// tasks; RestartCostSec and RollbackLossSec likewise.
+	CheckpointCostSec float64 `json:"checkpoint_cost_sec"`
+	RestartCostSec    float64 `json:"restart_cost_sec"`
+	RollbackLossSec   float64 `json:"rollback_loss_sec"`
+}
+
+// Result is the stable outcome of one simulation run. It marshals to
+// JSON as-is, so results can feed non-Go tooling directly.
+type Result struct {
+	// Policy is the planning policy's display name.
+	Policy string `json:"policy"`
+	// MakespanSec is the simulated time at which all jobs finished.
+	MakespanSec float64 `json:"makespan_sec"`
+	// Events is the number of simulation events executed.
+	Events  uint64        `json:"events"`
+	Summary ResultSummary `json:"summary"`
+	Jobs    []JobOutcome  `json:"jobs"`
+}
+
+// newResult converts an engine result into the public form.
+func newResult(res *engine.Result) *Result {
+	out := &Result{
+		Policy:      res.PolicyName,
+		MakespanSec: res.MakespanSec,
+		Events:      res.Events,
+		Jobs:        make([]JobOutcome, 0, len(res.Jobs)),
+	}
+	s := &out.Summary
+	var wprAll, wprFailing float64
+	for _, jr := range res.Jobs {
+		jo := JobOutcome{
+			ID:         jr.Job.ID,
+			Structure:  jr.Job.Structure.String(),
+			Priority:   jr.Job.Priority,
+			ArrivalSec: jr.Job.ArrivalSec,
+			DoneAt:     jr.DoneAt,
+			WallSec:    jr.Wall(),
+			WPR:        jr.WPR(),
+			Failures:   jr.Failures(),
+			Tasks:      make([]TaskOutcome, 0, len(jr.Tasks)),
+		}
+		for _, tr := range jr.Tasks {
+			jo.Tasks = append(jo.Tasks, TaskOutcome{
+				ID:                      tr.Task.ID,
+				Priority:                tr.Task.Priority,
+				LengthSec:               tr.Task.LengthSec,
+				MemMB:                   tr.Task.MemMB,
+				SubmitAt:                tr.SubmitAt,
+				StartAt:                 tr.StartAt,
+				DoneAt:                  tr.DoneAt,
+				WallSec:                 tr.Wall(),
+				WPR:                     tr.WPR(),
+				Failures:                tr.Failures,
+				Checkpoints:             tr.Checkpoints,
+				RollbackLossSec:         tr.RollbackLoss,
+				CheckpointCostSec:       tr.CheckpointCost,
+				HiddenCheckpointCostSec: tr.HiddenCheckpointCost,
+				RestartCostSec:          tr.RestartCost,
+				WaitSec:                 tr.WaitTime,
+				UsedSharedStorage:       tr.UsedShared,
+			})
+			s.Tasks++
+			s.Checkpoints += tr.Checkpoints
+			s.CheckpointCostSec += tr.CheckpointCost
+			s.RestartCostSec += tr.RestartCost
+			s.RollbackLossSec += tr.RollbackLoss
+		}
+		s.Jobs++
+		s.Failures += jo.Failures
+		wprAll += jo.WPR
+		if jo.Failures > 0 {
+			s.FailingJobs++
+			wprFailing += jo.WPR
+		}
+		out.Jobs = append(out.Jobs, jo)
+	}
+	if s.Jobs > 0 {
+		s.MeanWPR = wprAll / float64(s.Jobs)
+	}
+	if s.FailingJobs > 0 {
+		s.MeanWPRFailing = wprFailing / float64(s.FailingJobs)
+	}
+	return out
+}
+
+// MeanWPR returns the average per-job WPR over all jobs (0 when the
+// run replayed no jobs).
+func (r *Result) MeanWPR() float64 { return r.Summary.MeanWPR }
+
+// MeanWPRFailing returns the average per-job WPR over jobs that
+// experienced at least one failure.
+func (r *Result) MeanWPRFailing() float64 { return r.Summary.MeanWPRFailing }
+
+// Failures returns the run's total failure count.
+func (r *Result) Failures() int { return r.Summary.Failures }
+
+// JobWPRs returns the per-job WPR values, optionally restricted to
+// jobs that experienced at least one failure.
+func (r *Result) JobWPRs(onlyFailing bool) []float64 {
+	var out []float64
+	for _, j := range r.Jobs {
+		if onlyFailing && j.Failures == 0 {
+			continue
+		}
+		out = append(out, j.WPR)
+	}
+	return out
+}
+
+// JobWalls returns the per-job wall-clock lengths, optionally
+// restricted to failing jobs.
+func (r *Result) JobWalls(onlyFailing bool) []float64 {
+	var out []float64
+	for _, j := range r.Jobs {
+		if onlyFailing && j.Failures == 0 {
+			continue
+		}
+		out = append(out, j.WallSec)
+	}
+	return out
+}
+
+// Summary holds order statistics of a sample (population standard
+// deviation).
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Std    float64
+	Median float64
+	P25    float64
+	P75    float64
+	P05    float64
+	P95    float64
+}
+
+// Summarize computes order statistics of a sample; the zero Summary is
+// returned for an empty one.
+func Summarize(xs []float64) Summary { return Summary(stats.Summarize(xs)) }

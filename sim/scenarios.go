@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/scenario"
+)
+
+// ScenarioInfo describes one entry of the named scenario registry.
+type ScenarioInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+}
+
+// Scenarios lists the registered scenarios, sorted by name.
+func Scenarios() []ScenarioInfo {
+	names := scenario.Names()
+	out := make([]ScenarioInfo, 0, len(names))
+	for _, name := range names {
+		sc, _ := scenario.Get(name)
+		out = append(out, ScenarioInfo{Name: sc.Name, Description: sc.Description})
+	}
+	return out
+}
+
+// ScenarioByName returns a Simulation preconfigured from the registry
+// entry of that name; further options layer on top (for example
+// WithSeed). Unknown names yield an error listing the known ones.
+func ScenarioByName(name string, opts ...Option) (*Simulation, error) {
+	sc, ok := scenario.Get(name)
+	if !ok {
+		known := make([]string, 0)
+		for _, info := range Scenarios() {
+			known = append(known, info.Name)
+		}
+		return nil, fmt.Errorf("sim: unknown scenario %q (known: %v)", name, known)
+	}
+	base := func(c *config) { c.sc = sc }
+	return New(append([]Option{base}, opts...)...)
+}
