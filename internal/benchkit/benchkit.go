@@ -1,0 +1,323 @@
+// Package benchkit is the simulator's performance-measurement
+// subsystem: it runs a fixed matrix of registered scenarios at multiple
+// trace scales, measures wall-clock, allocation, and event-throughput
+// statistics for each cell, and renders the whole matrix as a
+// schema-stable JSON report (the BENCH_<date>.json files at the repo
+// root). Every PR that touches the hot path extends the same trajectory
+// by re-running `simbench` and committing the refreshed report, and CI
+// runs a smoke-scale matrix on every push so the report format — and
+// the engine's allocation budget — cannot silently rot.
+//
+// Methodology: each cell generates the scenario's workload for the
+// report seed, builds the history estimator when the scenario uses one,
+// and then measures only the engine replay (trace generation is timed
+// separately and reported as trace_gen_ns). Allocation counts come from
+// runtime.MemStats deltas around the replay; peak heap is sampled from
+// the engine's progress hook. The engine is deterministic, so events,
+// makespan, and mean WPR double as drift anchors: a report whose
+// anchors moved is measuring a different simulation, not a faster one.
+package benchkit
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/scenario"
+	"repro/internal/trace"
+)
+
+// SchemaVersion identifies the report layout. Consumers should reject
+// reports with a version they do not understand; fields are only ever
+// added, never renamed, within a version.
+const SchemaVersion = 1
+
+// The pre-PR allocation baseline: the engine hot path measured at the
+// last commit before the PR-3 performance overhaul (BenchmarkRun10k,
+// default workload, batch tier replayed under Formula 3 with
+// priority-based estimates, seed 7). Recorded here so every future
+// report carries the trajectory's origin.
+const (
+	// BaselineJobs is the trace scale the allocation budget is pinned at.
+	BaselineJobs = 10000
+	// BaselineScenario is the registry scenario the budget replays.
+	BaselineScenario = "baseline-f3"
+	// BaselineSeed reproduces the pre-PR measurement's trace.
+	BaselineSeed = 7
+	// PrePRAllocsPerOp and PrePRNsPerOp are the measured pre-overhaul
+	// numbers (Intel Xeon @ 2.10GHz reference container, go1.24).
+	PrePRAllocsPerOp = 15452471
+	PrePRNsPerOp     = 7828617839
+)
+
+// Config selects the benchmark matrix.
+type Config struct {
+	// Scenarios are registry names (scenario.Get); empty selects
+	// DefaultScenarios.
+	Scenarios []string
+	// Scales are trace sizes in jobs; empty selects DefaultScales.
+	Scales []int
+	// Seed drives workload generation for every cell (default 20130601).
+	Seed uint64
+	// Runs is the number of repetitions per cell; the report keeps the
+	// fastest (0 means 1). Allocation counts are deterministic across
+	// repetitions, wall-clock is not.
+	Runs int
+	// SkipBaseline skips the dedicated 10k-job allocation-budget cell
+	// (it still runs implicitly when the matrix covers BaselineScenario
+	// at BaselineJobs).
+	SkipBaseline bool
+	// Progress, when non-nil, is invoked before each cell with a
+	// human-readable label — simbench points it at stderr.
+	Progress func(label string)
+}
+
+// DefaultScenarios is the matrix the committed BENCH reports cover: the
+// paper's headline setups plus the cloud workloads that stress distinct
+// engine paths (host crashes, non-blocking writes, burst arrivals).
+func DefaultScenarios() []string {
+	return []string{
+		"baseline-f3",
+		"baseline-young",
+		"no-checkpoint",
+		"short-tasks-f3",
+		"nonblocking-f3",
+		"hostfail-storm",
+		"spot-market",
+		"mapreduce-burst",
+	}
+}
+
+// DefaultScales are the committed-report trace sizes.
+func DefaultScales() []int { return []int{1000, 10000} }
+
+// SmokeScales are the CI trace sizes: small enough for every push.
+func SmokeScales() []int { return []int{200, 1000} }
+
+// Measurement is one (scenario, scale) cell of the matrix.
+type Measurement struct {
+	Scenario     string `json:"scenario"`
+	Jobs         int    `json:"jobs"`
+	JobsReplayed int    `json:"jobs_replayed"`
+	Tasks        int    `json:"tasks_replayed"`
+	// Events counts fired simulation events; with NsPerOp it yields
+	// EventsPerSec, the engine's headline throughput.
+	Events       uint64  `json:"events"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	AllocsPerOp  uint64  `json:"allocs_per_op"`
+	BytesPerOp   uint64  `json:"bytes_per_op"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// PeakHeapBytes is the largest live heap sampled during the replay.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+	// TraceGenNs times workload generation (excluded from NsPerOp).
+	TraceGenNs int64 `json:"trace_gen_ns"`
+	// MakespanSec and MeanWPR anchor the measurement to the simulated
+	// outcome: identical code must reproduce them bit-for-bit.
+	MakespanSec float64 `json:"makespan_sec"`
+	MeanWPR     float64 `json:"mean_wpr"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// AllocBaseline records the allocation-budget comparison at the pinned
+// scale: the pre-overhaul numbers (constants above) next to the ones
+// measured by this report's run.
+type AllocBaseline struct {
+	Scenario          string `json:"scenario"`
+	Jobs              int    `json:"jobs"`
+	Seed              uint64 `json:"seed"`
+	PrePRAllocsPerOp  uint64 `json:"pre_pr_allocs_per_op"`
+	PrePRNsPerOp      int64  `json:"pre_pr_ns_per_op"`
+	PostPRAllocsPerOp uint64 `json:"post_pr_allocs_per_op"`
+	PostPRNsPerOp     int64  `json:"post_pr_ns_per_op"`
+	// AllocReductionPct is 100 * (1 - post/pre).
+	AllocReductionPct float64 `json:"alloc_reduction_pct"`
+}
+
+// Report is the schema-stable output of a matrix run.
+type Report struct {
+	SchemaVersion int    `json:"schema_version"`
+	CreatedAt     string `json:"created_at"` // RFC3339, supplied by the caller
+	GoVersion     string `json:"go_version"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	CPUs          int    `json:"cpus"`
+	Seed          uint64 `json:"seed"`
+	Runs          int    `json:"runs"`
+	Scales        []int  `json:"scales"`
+	// Baseline is present unless Config.SkipBaseline suppressed it and
+	// the matrix did not cover the pinned cell.
+	Baseline *AllocBaseline `json:"alloc_baseline,omitempty"`
+	Results  []Measurement  `json:"results"`
+}
+
+// Run executes the matrix and assembles the report. Individual cell
+// failures are recorded in their Measurement (and do not abort the
+// matrix); only an unknown scenario name fails the whole run, because
+// it means the requested matrix cannot exist.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	names := cfg.Scenarios
+	if len(names) == 0 {
+		names = DefaultScenarios()
+	}
+	scales := cfg.Scales
+	if len(scales) == 0 {
+		scales = DefaultScales()
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 20130601
+	}
+	runs := cfg.Runs
+	if runs <= 0 {
+		runs = 1
+	}
+
+	scs := make([]scenario.Scenario, len(names))
+	for i, name := range names {
+		sc, ok := scenario.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("benchkit: unknown scenario %q", name)
+		}
+		scs[i] = sc
+	}
+
+	rep := &Report{
+		SchemaVersion: SchemaVersion,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		CPUs:          runtime.NumCPU(),
+		Seed:          seed,
+		Runs:          runs,
+		Scales:        scales,
+		Results:       make([]Measurement, 0, len(scs)*len(scales)),
+	}
+
+	var budget *Measurement
+	for _, jobs := range scales {
+		for i, sc := range scs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if cfg.Progress != nil {
+				cfg.Progress(fmt.Sprintf("%s @ %d jobs", names[i], jobs))
+			}
+			m := measure(ctx, sc, names[i], jobs, seed, runs)
+			rep.Results = append(rep.Results, m)
+			if names[i] == BaselineScenario && jobs == BaselineJobs && seed == BaselineSeed && m.Error == "" {
+				budget = &rep.Results[len(rep.Results)-1]
+			}
+		}
+	}
+
+	if budget == nil && !cfg.SkipBaseline {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(fmt.Sprintf("alloc budget: %s @ %d jobs", BaselineScenario, BaselineJobs))
+		}
+		sc, _ := scenario.Get(BaselineScenario)
+		m := measure(ctx, sc, BaselineScenario, BaselineJobs, BaselineSeed, runs)
+		// The budget cell joins Results either way: a failing cell must
+		// surface in the report (and fail simbench/CI), not silently
+		// drop the alloc_baseline section.
+		rep.Results = append(rep.Results, m)
+		if m.Error == "" {
+			budget = &rep.Results[len(rep.Results)-1]
+		}
+	}
+	if budget != nil {
+		rep.Baseline = &AllocBaseline{
+			Scenario:          BaselineScenario,
+			Jobs:              BaselineJobs,
+			Seed:              BaselineSeed,
+			PrePRAllocsPerOp:  PrePRAllocsPerOp,
+			PrePRNsPerOp:      PrePRNsPerOp,
+			PostPRAllocsPerOp: budget.AllocsPerOp,
+			PostPRNsPerOp:     budget.NsPerOp,
+			AllocReductionPct: 100 * (1 - float64(budget.AllocsPerOp)/float64(PrePRAllocsPerOp)),
+		}
+	}
+	return rep, nil
+}
+
+// heapSampleEvery is the fired-event stride between peak-heap samples;
+// runtime.ReadMemStats stops the world, so the stride is kept coarse.
+const heapSampleEvery = 1 << 18
+
+// measure runs one cell: generate, then replay `runs` times keeping
+// the fastest repetition (allocation counts are deterministic, so any
+// repetition reports the same budget).
+func measure(ctx context.Context, sc scenario.Scenario, name string, jobs int, seed uint64, runs int) Measurement {
+	m := Measurement{Scenario: name, Jobs: jobs}
+
+	genStart := time.Now()
+	tr := sc.Workload.Materialize(seed, jobs)
+	m.TraceGenNs = time.Since(genStart).Nanoseconds()
+
+	replay := tr
+	if !sc.ReplayAll {
+		replay = tr.BatchJobs()
+	}
+	m.JobsReplayed = len(replay.Jobs)
+	for _, j := range replay.Jobs {
+		m.Tasks += len(j.Tasks)
+	}
+
+	cfg, err := sc.EngineConfig(seed)
+	if err != nil {
+		m.Error = err.Error()
+		return m
+	}
+	var est *core.HistoryEstimator
+	if cfg.Estimates == engine.EstimatePriority && cfg.CustomEstimator == nil {
+		est = trace.BuildEstimator(tr, sc.EffectiveLimits())
+	}
+
+	var peak uint64
+	var ms runtime.MemStats
+	cfg.ProgressEvery = heapSampleEvery
+	cfg.Progress = func(events uint64, simNow float64) {
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > peak {
+			peak = ms.HeapAlloc
+		}
+	}
+
+	for rep := 0; rep < runs; rep++ {
+		if err := ctx.Err(); err != nil {
+			m.Error = err.Error()
+			return m
+		}
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		res, err := engine.RunWithEstimatorContext(ctx, cfg, replay, est)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			m.Error = err.Error()
+			return m
+		}
+		if rep == 0 || elapsed.Nanoseconds() < m.NsPerOp {
+			m.NsPerOp = elapsed.Nanoseconds()
+		}
+		if rep == 0 {
+			m.AllocsPerOp = after.Mallocs - before.Mallocs
+			m.BytesPerOp = after.TotalAlloc - before.TotalAlloc
+			m.Events = res.Events
+			m.MakespanSec = res.MakespanSec
+			m.MeanWPR = res.MeanWPR(nil)
+		}
+	}
+	if m.NsPerOp > 0 {
+		m.EventsPerSec = float64(m.Events) / (float64(m.NsPerOp) / 1e9)
+	}
+	m.PeakHeapBytes = peak
+	return m
+}

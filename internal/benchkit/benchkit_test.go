@@ -1,0 +1,106 @@
+package benchkit
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// TestRunSmallMatrix exercises a tiny matrix end to end and checks the
+// report invariants the JSON consumers rely on.
+func TestRunSmallMatrix(t *testing.T) {
+	cfg := Config{
+		Scenarios:    []string{"baseline-f3", "no-checkpoint"},
+		Scales:       []int{50, 100},
+		Seed:         11,
+		SkipBaseline: true,
+	}
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != SchemaVersion {
+		t.Errorf("schema_version = %d, want %d", rep.SchemaVersion, SchemaVersion)
+	}
+	if got, want := len(rep.Results), 4; got != want {
+		t.Fatalf("got %d results, want %d", got, want)
+	}
+	for _, m := range rep.Results {
+		if m.Error != "" {
+			t.Fatalf("%s @ %d: %s", m.Scenario, m.Jobs, m.Error)
+		}
+		if m.Events == 0 || m.NsPerOp <= 0 || m.EventsPerSec <= 0 {
+			t.Errorf("%s @ %d: empty measurement %+v", m.Scenario, m.Jobs, m)
+		}
+		if m.AllocsPerOp == 0 || m.BytesPerOp == 0 {
+			t.Errorf("%s @ %d: allocation counters not captured", m.Scenario, m.Jobs)
+		}
+		if m.JobsReplayed == 0 || m.JobsReplayed > m.Jobs || m.Tasks < m.JobsReplayed {
+			t.Errorf("%s @ %d: implausible replay size %d jobs / %d tasks",
+				m.Scenario, m.Jobs, m.JobsReplayed, m.Tasks)
+		}
+	}
+	if rep.Baseline != nil {
+		t.Error("SkipBaseline did not suppress the budget cell")
+	}
+}
+
+// TestRunDeterministicAnchors verifies the drift anchors: two runs of
+// the same cell must agree on events, makespan, and WPR exactly.
+func TestRunDeterministicAnchors(t *testing.T) {
+	cfg := Config{
+		Scenarios:    []string{"baseline-f3"},
+		Scales:       []int{80},
+		Seed:         5,
+		SkipBaseline: true,
+	}
+	a, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, mb := a.Results[0], b.Results[0]
+	if ma.Events != mb.Events || ma.MakespanSec != mb.MakespanSec || ma.MeanWPR != mb.MeanWPR {
+		t.Errorf("anchors drifted between identical runs:\n%+v\n%+v", ma, mb)
+	}
+}
+
+// TestUnknownScenarioFails pins the only whole-run failure mode.
+func TestUnknownScenarioFails(t *testing.T) {
+	_, err := Run(context.Background(), Config{Scenarios: []string{"no-such"}, Scales: []int{10}})
+	if err == nil {
+		t.Fatal("unknown scenario did not fail the run")
+	}
+}
+
+// TestReportMarshalStable ensures the JSON field set matches the schema
+// the docs promise (spot-checking the load-bearing keys).
+func TestReportMarshalStable(t *testing.T) {
+	rep := &Report{
+		SchemaVersion: SchemaVersion,
+		Baseline:      &AllocBaseline{PrePRAllocsPerOp: PrePRAllocsPerOp},
+		Results:       []Measurement{{Scenario: "baseline-f3", Jobs: 10}},
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"schema_version", "go_version", "scales", "alloc_baseline", "results"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("report JSON lost key %q", key)
+		}
+	}
+	res := m["results"].([]any)[0].(map[string]any)
+	for _, key := range []string{"scenario", "jobs", "ns_per_op", "allocs_per_op", "events_per_sec", "peak_heap_bytes"} {
+		if _, ok := res[key]; !ok {
+			t.Errorf("measurement JSON lost key %q", key)
+		}
+	}
+}

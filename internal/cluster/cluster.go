@@ -47,6 +47,12 @@ func (p *Placement) Active() bool { return p != nil && p.active }
 type Cluster struct {
 	hosts []*Host
 	seq   uint64
+	// free pools released Placements for reuse, so the steady-state
+	// acquire/release churn of restarting tasks allocates nothing.
+	// Callers must drop their pointer once they Release (the engine nils
+	// its reference immediately); Active() guards against use of a
+	// released placement before it is re-issued.
+	free []*Placement
 }
 
 // New builds a cluster of `hosts` hosts with memMB memory each. The
@@ -107,6 +113,13 @@ func (c *Cluster) AcquireExcluding(memMB float64, excludeHost int) *Placement {
 	best.used += memMB
 	best.tasks++
 	c.seq++
+	if n := len(c.free); n > 0 {
+		p := c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		*p = Placement{HostID: best.ID, MemMB: memMB, seq: c.seq, active: true}
+		return p
+	}
 	return &Placement{HostID: best.ID, MemMB: memMB, seq: c.seq, active: true}
 }
 
@@ -140,6 +153,7 @@ func (c *Cluster) Release(p *Placement) {
 		h.used = 0
 	}
 	p.active = false
+	c.free = append(c.free, p)
 }
 
 // FreeMem returns the total free memory across live hosts.

@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// maxAllocsPerEvent is the engine's allocation budget: the hot path
+// runs at ~0.11 allocations per fired event after the PR-3 overhaul
+// (event and placement pooling, one reusable callback per task, pooled
+// storage ops). The pre-overhaul engine sat near 2.9. The guard leaves
+// ~3x headroom for incidental churn while catching any change that
+// reintroduces a per-event allocation (+1.0 or more).
+const maxAllocsPerEvent = 0.35
+
+// TestRunAllocBudget regression-guards the event loop: a full engine
+// run over the default workload must stay under maxAllocsPerEvent.
+func TestRunAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation budget needs a full run")
+	}
+	full := trace.Generate(trace.DefaultGenConfig(3, 300))
+	replay := full.BatchJobs()
+	est := trace.BuildEstimator(full, nil)
+	cfg := Config{Seed: 3, Policy: core.MNOFPolicy{}}
+
+	var events uint64
+	allocs := testing.AllocsPerRun(3, func() {
+		res, err := RunWithEstimator(cfg, replay, est)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = res.Events
+	})
+	if events == 0 {
+		t.Fatal("run fired no events")
+	}
+	perEvent := allocs / float64(events)
+	t.Logf("%.0f allocs over %d events = %.4f allocs/event", allocs, events, perEvent)
+	if perEvent > maxAllocsPerEvent {
+		t.Errorf("engine hot path allocates %.4f per event, budget %.2f — a per-event allocation crept back in",
+			perEvent, maxAllocsPerEvent)
+	}
+}
+
+// TestNonBlockingAllocBudget guards the async-checkpoint path, which
+// legitimately allocates one in-flight write record per checkpoint but
+// must not regress beyond that.
+func TestNonBlockingAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation budget needs a full run")
+	}
+	full := trace.Generate(trace.DefaultGenConfig(3, 300))
+	replay := full.BatchJobs()
+	est := trace.BuildEstimator(full, nil)
+	cfg := Config{Seed: 3, Policy: core.MNOFPolicy{}, NonBlockingCheckpoints: true}
+
+	var events uint64
+	allocs := testing.AllocsPerRun(3, func() {
+		res, err := RunWithEstimator(cfg, replay, est)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = res.Events
+	})
+	perEvent := allocs / float64(events)
+	t.Logf("%.0f allocs over %d events = %.4f allocs/event", allocs, events, perEvent)
+	if perEvent > 2*maxAllocsPerEvent {
+		t.Errorf("non-blocking path allocates %.4f per event, budget %.2f", perEvent, 2*maxAllocsPerEvent)
+	}
+}

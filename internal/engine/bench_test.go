@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// benchTrace generates the default workload at the given size once per
+// benchmark; the engine replays the batch tier, mirroring the paper's
+// methodology (and benchkit's).
+func benchTrace(b *testing.B, jobs int) *trace.Trace {
+	b.Helper()
+	tr := trace.Generate(trace.DefaultGenConfig(7, jobs)).BatchJobs()
+	if err := tr.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func benchRun(b *testing.B, jobs int) {
+	full := trace.Generate(trace.DefaultGenConfig(7, jobs))
+	replay := full.BatchJobs()
+	est := trace.BuildEstimator(full, nil)
+	cfg := Config{Seed: 7, Policy: core.MNOFPolicy{}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res, err := RunWithEstimator(cfg, replay, est)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Events
+	}
+	b.ReportMetric(float64(events), "events")
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkRun1k runs the headline configuration over a 1k-job trace.
+func BenchmarkRun1k(b *testing.B) { benchRun(b, 1000) }
+
+// BenchmarkRun10k runs the headline configuration over a 10k-job trace
+// — the scale the allocation-regression budget is pinned at.
+func BenchmarkRun10k(b *testing.B) { benchRun(b, 10000) }
+
+// BenchmarkTraceGenerate10k measures the synthetic generator alone.
+func BenchmarkTraceGenerate10k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		trace.Generate(trace.DefaultGenConfig(7, 10000))
+	}
+}

@@ -219,6 +219,10 @@ type engineState struct {
 	dispatchPending bool
 	// hostRNG drives host-crash victim selection and inter-crash times.
 	hostRNG *simeng.RNG
+	// dispatchFn and fitsFn are bound once per run so the dispatch hot
+	// path schedules and filters without allocating fresh closures.
+	dispatchFn func()
+	fitsFn     func(*taskRun) bool
 }
 
 // armHostFailure schedules the next whole-host crash. The chain
@@ -265,13 +269,26 @@ func sortRunsByTaskID(runs []*taskRun) {
 
 func runWithEstimator(ctx context.Context, cfg Config, tr *trace.Trace, est *core.HistoryEstimator) (*Result, error) {
 	rng := simeng.NewRNG(cfg.Seed)
+	// Size the per-task and per-job containers from the trace up front:
+	// the hot loop should grow nothing.
+	nTasks := 0
+	for _, job := range tr.Jobs {
+		nTasks += len(job.Tasks)
+	}
 	e := &engineState{
 		cfg:    cfg,
 		sim:    simeng.NewSimulator(),
 		cl:     cluster.New(cfg.Hosts, cfg.HostMemMB),
 		est:    est,
-		runs:   make(map[string]*taskRun),
-		result: &Result{PolicyName: cfg.Policy.Name()},
+		runs:   make(map[string]*taskRun, nTasks),
+		result: &Result{PolicyName: cfg.Policy.Name(), Jobs: make([]*JobResult, 0, len(tr.Jobs))},
+	}
+	e.dispatchFn = func() {
+		e.dispatchPending = false
+		e.dispatch()
+	}
+	e.fitsFn = func(r *taskRun) bool {
+		return e.cl.AcquirePreview(r.task.MemMB, r.excludeHost)
 	}
 	// The rng.Split() sequence below is part of the deterministic
 	// contract: custom backends consume the same splits as the devices
@@ -293,7 +310,7 @@ func runWithEstimator(ctx context.Context, cfg Config, tr *trace.Trace, est *cor
 
 	for _, job := range tr.Jobs {
 		job := job
-		jr := &JobResult{Job: job}
+		jr := &JobResult{Job: job, Tasks: make([]*TaskResult, 0, len(job.Tasks))}
 		e.result.Jobs = append(e.result.Jobs, jr)
 		e.sim.Schedule(job.ArrivalSec, func() { e.onJobArrival(job, jr) })
 	}
@@ -381,17 +398,12 @@ func (e *engineState) scheduleDispatch() {
 		return
 	}
 	e.dispatchPending = true
-	e.sim.SchedulePriority(e.sim.Now(), 10, func() {
-		e.dispatchPending = false
-		e.dispatch()
-	})
+	e.sim.SchedulePriority(e.sim.Now(), 10, e.dispatchFn)
 }
 
 func (e *engineState) dispatch() {
 	for {
-		run, ok := e.queue.PopWhere(func(r *taskRun) bool {
-			return e.cl.AcquirePreview(r.task.MemMB, r.excludeHost)
-		})
+		run, ok := e.queue.PopWhere(e.fitsFn)
 		if !ok {
 			return
 		}

@@ -11,6 +11,32 @@ import (
 	"repro/internal/trace"
 )
 
+// action names the milestone a task's single pending event will execute
+// when it fires. Dispatching on an action code through one pre-bound
+// closure per task keeps the event loop free of per-event closure
+// allocations — the simulator recycles Event structs and the task
+// recycles its callback, so steady-state stepping allocates nothing.
+type action uint8
+
+const (
+	// actNone marks a task with no pending action.
+	actNone action = iota
+	// actStep computes the next milestone (checkpoint, change point,
+	// completion, or a failure preempting them) and schedules it.
+	actStep
+	// actFail ends a productive segment with a failure at failProgress.
+	actFail
+	// actMilestone ends a productive segment at the planned milestone.
+	actMilestone
+	// actCkptFail aborts an in-progress blocking checkpoint write.
+	actCkptFail
+	// actCkptDone commits a completed blocking checkpoint write.
+	actCkptDone
+	// actRequeue re-enters the pending queue after the failure-detection
+	// delay.
+	actRequeue
+)
+
 // taskRun is the per-task execution state machine. Its timeline mixes
 // productive progress with fault-tolerance overheads exactly as the
 // paper's Formula 1 decomposes wall-clock time: productive time, plus
@@ -61,40 +87,135 @@ type taskRun struct {
 	segWall     float64
 	segProgress float64
 
+	// fireFn is the task's single reusable event callback; act plus the
+	// parameter fields below carry what a bespoke closure used to
+	// capture.
+	fireFn       func()
+	act          action
+	failProgress float64 // actFail: progress reached when the failure strikes
+	milestone    float64 // actMilestone: productive position reached
+	changeAt     float64 // actMilestone: the change point, to classify milestone
+	writeCost    float64 // actCkptDone: wall-clock cost of the completing write
+
 	// nextCkpt is the productive position of the next planned
 	// checkpoint (+Inf when none). writes tracks non-blocking
-	// checkpoint writes still in flight.
-	nextCkpt float64
-	writes   []*inflightWrite
+	// checkpoint writes still in flight; writePool recycles their
+	// records (and the completion closures bound to them) so the async
+	// path allocates only on its high-water mark.
+	nextCkpt  float64
+	writes    []*inflightWrite
+	writePool []*inflightWrite
 }
 
 // inflightWrite is a checkpoint image being written concurrently with
-// computation (Algorithm 1 line 7).
+// computation (Algorithm 1 line 7). fireFn is bound once, when the
+// record is first allocated, and survives pool recycling.
 type inflightWrite struct {
 	event      *simeng.Event
 	release    func()
 	progressAt float64
 	cost       float64
 	done       bool
+	fireFn     func()
+}
+
+// newInflightWrite returns a recycled write record or allocates one
+// with its completion closure bound.
+func (r *taskRun) newInflightWrite() *inflightWrite {
+	if n := len(r.writePool); n > 0 {
+		w := r.writePool[n-1]
+		r.writePool[n-1] = nil
+		r.writePool = r.writePool[:n-1]
+		w.done = false
+		return w
+	}
+	w := &inflightWrite{}
+	w.fireFn = func() { r.finishAsyncWrite(w) }
+	return w
+}
+
+// finishAsyncWrite commits a completed non-blocking checkpoint image.
+func (r *taskRun) finishAsyncWrite(w *inflightWrite) {
+	w.done = true
+	w.release()
+	if w.progressAt > r.saved {
+		r.saved = w.progressAt
+		r.hasImage = true
+	}
+	r.result.Checkpoints++
+	r.result.HiddenCheckpointCost += w.cost
+	r.remaining = r.plannedLen - r.saved
+	if r.remaining < 0 {
+		r.remaining = r.w0
+	}
 }
 
 // cancelWrites aborts all in-flight non-blocking writes (failure or
-// host crash): their images never complete.
+// host crash): their images never complete. Every record — aborted or
+// already done — returns to the pool.
 func (r *taskRun) cancelWrites() {
-	for _, w := range r.writes {
+	for i, w := range r.writes {
 		if !w.done {
 			w.event.Cancel()
 			w.release()
 			w.done = true
 		}
+		r.writePool = append(r.writePool, w)
+		r.writes[i] = nil
 	}
 	r.writes = r.writes[:0]
 }
 
-// schedule registers the task's single next event, remembering it so an
-// external interruption can cancel it.
-func (r *taskRun) schedule(at float64, fn func()) {
-	r.pending = r.eng.sim.Schedule(at, fn)
+// schedule registers the task's single next action, remembering the
+// event so an external interruption can cancel it.
+func (r *taskRun) schedule(at float64, act action) {
+	r.act = act
+	r.pending = r.eng.sim.Schedule(at, r.fireFn)
+}
+
+// fire executes the task's pending action. It is the body of the one
+// closure each task schedules through.
+func (r *taskRun) fire() {
+	act := r.act
+	r.act = actNone
+	switch act {
+	case actStep:
+		r.step()
+	case actFail:
+		// The task computed from the segment start until the failure
+		// struck; that partial progress is lost to the rollback unless
+		// checkpointed.
+		r.computing = false
+		r.progress = r.failProgress
+		r.failAndRequeue(r.eng.sim.Now())
+	case actMilestone:
+		r.computing = false
+		r.progress = r.milestone
+		switch {
+		case r.milestone == r.task.LengthSec:
+			r.complete()
+		case r.milestone == r.changeAt:
+			r.onPriorityChange()
+		case r.eng.cfg.NonBlockingCheckpoints:
+			r.startAsyncCheckpoint()
+			r.step()
+		default:
+			r.beginCheckpoint()
+		}
+	case actCkptFail:
+		// Failure mid-checkpoint: the write never completes.
+		release := r.cleanup
+		r.cleanup = nil
+		release()
+		r.failAndRequeue(r.eng.sim.Now())
+	case actCkptDone:
+		r.finishCheckpoint()
+	case actRequeue:
+		// The polling thread detected the interruption; the task
+		// re-enters the queue's restart lane.
+		r.eng.queue.PushRestart(r)
+		r.eng.scheduleDispatch()
+	}
 }
 
 // interrupt preempts the task from outside its own event chain (host
@@ -104,6 +225,7 @@ func (r *taskRun) schedule(at float64, fn func()) {
 func (r *taskRun) interrupt(now float64) {
 	r.pending.Cancel()
 	r.pending = nil
+	r.act = actNone
 	if r.cleanup != nil {
 		r.cleanup()
 		r.cleanup = nil
@@ -126,6 +248,7 @@ func newTaskRun(e *engineState, t *trace.Task, jr *JobResult, now float64) *task
 		excludeHost:  -1,
 		waitingSince: now,
 	}
+	run.fireFn = run.fire
 	run.backend = e.chooseBackend(t, est)
 	run.result.UsedShared = run.backend.Kind() != storage.KindLocal
 	run.ckptCost = storage.PlannedCheckpointCost(run.backend, t.MemMB)
@@ -183,7 +306,7 @@ func (r *taskRun) start(p *cluster.Placement, at float64) {
 	}
 	// With no image yet the task relaunches from scratch (progress is
 	// already rolled back to zero); only the scheduling delay applies.
-	r.schedule(at, r.step)
+	r.schedule(at, actStep)
 }
 
 // wallSinceStart converts the current simulation time into the task's
@@ -232,32 +355,14 @@ func (r *taskRun) step() {
 	r.segProgress = r.progress
 
 	if fail := r.nextFailureAbs(now); fail < eventAt {
-		// The task computes from now until the failure strikes; that
-		// partial progress is lost to the rollback unless checkpointed.
-		progressAtFail := r.progress + (fail - now)
-		r.schedule(fail, func() {
-			r.computing = false
-			r.progress = progressAtFail
-			r.failAndRequeue(r.eng.sim.Now())
-		})
+		r.failProgress = r.progress + (fail - now)
+		r.schedule(fail, actFail)
 		return
 	}
 
-	r.schedule(eventAt, func() {
-		r.computing = false
-		r.progress = milestone
-		switch {
-		case milestone == r.task.LengthSec:
-			r.complete()
-		case milestone == changeAt:
-			r.onPriorityChange()
-		case r.eng.cfg.NonBlockingCheckpoints:
-			r.startAsyncCheckpoint()
-			r.step()
-		default:
-			r.beginCheckpoint()
-		}
-	})
+	r.milestone = milestone
+	r.changeAt = changeAt
+	r.schedule(eventAt, actMilestone)
 }
 
 // failAndRequeue rolls the task back to its last checkpoint, releases
@@ -299,10 +404,7 @@ func (r *taskRun) failAndRequeue(now float64) {
 
 	// The polling thread detects the interruption after the detection
 	// delay, then the task re-enters the queue's restart lane.
-	r.eng.sim.Schedule(now+r.eng.cfg.DetectionDelay, func() {
-		r.eng.queue.PushRestart(r)
-		r.eng.scheduleDispatch()
-	})
+	r.schedule(now+r.eng.cfg.DetectionDelay, actRequeue)
 	r.eng.scheduleDispatch()
 }
 
@@ -335,42 +437,43 @@ func (r *taskRun) beginCheckpoint() {
 	r.cleanup = release
 
 	if fail := r.nextFailureAbs(now); fail < doneAt {
-		// Failure mid-checkpoint: the write never completes.
-		r.schedule(fail, func() {
-			release()
-			r.cleanup = nil
-			r.failAndRequeue(r.eng.sim.Now())
-		})
+		r.schedule(fail, actCkptFail)
 		return
 	}
-	r.schedule(doneAt, func() {
-		release()
-		r.cleanup = nil
-		r.saved = r.progress
-		r.hasImage = true
-		r.result.Checkpoints++
-		r.result.CheckpointCost += cost
-		r.remaining = r.plannedLen - r.saved
-		if r.remaining < 0 {
-			// An under-predicting parser: the task has outrun its plan;
-			// keep checkpointing at the last spacing.
-			r.remaining = r.w0
-		}
-		if r.intervals > 1 {
-			r.intervals--
-		} else if r.progress < r.task.LengthSec-r.w0 {
-			// The plan is exhausted but real work remains (the predictor
-			// under-estimated): extend the plan by one interval at the
-			// current spacing.
-			r.intervals = 2
-		}
-		if r.intervals > 1 {
-			r.nextCkpt = r.saved + r.w0
-		} else {
-			r.nextCkpt = math.Inf(1)
-		}
-		r.step()
-	})
+	r.writeCost = cost
+	r.schedule(doneAt, actCkptDone)
+}
+
+// finishCheckpoint commits a completed blocking checkpoint write and
+// advances the plan.
+func (r *taskRun) finishCheckpoint() {
+	release := r.cleanup
+	r.cleanup = nil
+	release()
+	r.saved = r.progress
+	r.hasImage = true
+	r.result.Checkpoints++
+	r.result.CheckpointCost += r.writeCost
+	r.remaining = r.plannedLen - r.saved
+	if r.remaining < 0 {
+		// An under-predicting parser: the task has outrun its plan;
+		// keep checkpointing at the last spacing.
+		r.remaining = r.w0
+	}
+	if r.intervals > 1 {
+		r.intervals--
+	} else if r.progress < r.task.LengthSec-r.w0 {
+		// The plan is exhausted but real work remains (the predictor
+		// under-estimated): extend the plan by one interval at the
+		// current spacing.
+		r.intervals = 2
+	}
+	if r.intervals > 1 {
+		r.nextCkpt = r.saved + r.w0
+	} else {
+		r.nextCkpt = math.Inf(1)
+	}
+	r.step()
 }
 
 // startAsyncCheckpoint launches a checkpoint write in a separate thread
@@ -385,26 +488,16 @@ func (r *taskRun) startAsyncCheckpoint() {
 		hostID = r.placement.HostID
 	}
 	cost, release := r.backend.Begin(hostID, r.task.MemMB)
-	w := &inflightWrite{release: release, progressAt: r.progress, cost: cost}
-	w.event = r.eng.sim.Schedule(now+cost, func() {
-		w.done = true
-		release()
-		if w.progressAt > r.saved {
-			r.saved = w.progressAt
-			r.hasImage = true
-		}
-		r.result.Checkpoints++
-		r.result.HiddenCheckpointCost += cost
-		r.remaining = r.plannedLen - r.saved
-		if r.remaining < 0 {
-			r.remaining = r.w0
-		}
-	})
-	// Purge completed writes, then record the new one.
+	w := r.newInflightWrite()
+	w.release, w.progressAt, w.cost = release, r.progress, cost
+	w.event = r.eng.sim.Schedule(now+cost, w.fireFn)
+	// Purge completed writes into the pool, then record the new one.
 	live := r.writes[:0]
 	for _, old := range r.writes {
 		if !old.done {
 			live = append(live, old)
+		} else {
+			r.writePool = append(r.writePool, old)
 		}
 	}
 	r.writes = append(live, w)

@@ -44,7 +44,9 @@ func NewRenewal(d dist.Distribution, rng *simeng.RNG) *Renewal {
 	if d == nil || rng == nil {
 		panic("failure: NewRenewal requires a distribution and an RNG")
 	}
-	return &Renewal{dist: d, rng: rng, maxGen: 1 << 20}
+	// Every consumer draws at least a few times; seeding the capacity
+	// skips the first rounds of append growth.
+	return &Renewal{dist: d, rng: rng, maxGen: 1 << 20, times: make([]float64, 0, 8)}
 }
 
 // NextAfter implements Process.

@@ -1,7 +1,6 @@
 package simeng
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -10,6 +9,13 @@ import (
 type Time = float64
 
 // Event is a scheduled callback in simulated time.
+//
+// Events are pooled: once an event has fired (or been discarded after
+// cancellation) the simulator recycles it for a future Schedule call.
+// Holding an *Event across its firing is therefore only safe when the
+// holder can tell the event already fired (as the engine's in-flight
+// write records do); Cancel must only be called on events that have not
+// fired yet.
 type Event struct {
 	// At is the simulated time at which the event fires.
 	At Time
@@ -26,7 +32,9 @@ type Event struct {
 }
 
 // Cancel prevents a scheduled event from firing. Canceling an event that
-// already fired or was already canceled is a no-op.
+// was already canceled is a no-op; canceling an event that already fired
+// is undefined (the simulator may have recycled it for another
+// callback).
 func (e *Event) Cancel() {
 	if e != nil {
 		e.canceled = true
@@ -36,11 +44,12 @@ func (e *Event) Cancel() {
 // Canceled reports whether the event was canceled.
 func (e *Event) Canceled() bool { return e != nil && e.canceled }
 
+// eventHeap is a binary min-heap ordered by (At, Priority, seq). It is
+// hand-rolled rather than built on container/heap so the hot push/pop
+// paths stay free of interface conversions and indirect calls.
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].At != h[j].At {
 		return h[i].At < h[j].At
 	}
@@ -50,37 +59,74 @@ func (h eventHeap) Less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) {
+func (h eventHeap) swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].index = i
 	h[j].index = j
 }
 
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
+func (h *eventHeap) push(e *Event) {
 	e.index = len(*h)
 	*h = append(*h, e)
+	h.up(e.index)
 }
 
-func (h *eventHeap) Pop() any {
+func (h *eventHeap) pop() *Event {
 	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
+	n := len(old) - 1
+	old.swap(0, n)
+	e := old[n]
+	old[n] = nil
 	e.index = -1
-	*h = old[:n-1]
+	*h = old[:n]
+	if n > 0 {
+		h.down(0)
+	}
 	return e
+}
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		child := left
+		if right := left + 1; right < n && h.less(right, left) {
+			child = right
+		}
+		if !h.less(child, i) {
+			return
+		}
+		h.swap(i, child)
+		i = child
+	}
 }
 
 // Simulator is a discrete-event simulation kernel. It is single-threaded:
 // event callbacks run sequentially in timestamp order on the goroutine
 // that calls Run or Step.
 type Simulator struct {
-	now     Time
-	queue   eventHeap
-	seq     uint64
-	fired   uint64
-	running bool
+	now   Time
+	queue eventHeap
+	seq   uint64
+	fired uint64
+	// free is the recycled-event pool: events that fired or were
+	// discarded as canceled return here and the next Schedule reuses
+	// them, keeping the steady-state event loop allocation-free.
+	free []*Event
 }
 
 // NewSimulator returns a simulator with the clock at zero.
@@ -112,10 +158,25 @@ func (s *Simulator) SchedulePriority(at Time, priority int, fn func()) *Event {
 	if at < s.now {
 		panic(fmt.Sprintf("simeng: schedule at %.9g before now %.9g", at, s.now))
 	}
-	e := &Event{At: at, Priority: priority, Fn: fn, seq: s.seq}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		e.At, e.Priority, e.Fn, e.canceled = at, priority, fn, false
+	} else {
+		e = &Event{At: at, Priority: priority, Fn: fn}
+	}
+	e.seq = s.seq
 	s.seq++
-	heap.Push(&s.queue, e)
+	s.queue.push(e)
 	return e
+}
+
+// recycle returns a popped event to the pool for reuse by Schedule.
+func (s *Simulator) recycle(e *Event) {
+	e.Fn = nil
+	s.free = append(s.free, e)
 }
 
 // After registers fn to run delay seconds after the current time.
@@ -130,13 +191,20 @@ func (s *Simulator) After(delay Time, fn func()) *Event {
 // false if the queue is empty.
 func (s *Simulator) Step() bool {
 	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*Event)
+		e := s.queue.pop()
 		if e.canceled {
+			s.recycle(e)
 			continue
 		}
 		s.now = e.At
 		s.fired++
-		e.Fn()
+		fn := e.Fn
+		// Recycle before the callback: fn may schedule follow-up work
+		// into the freed slot, so steady-state loops reuse one Event.
+		// Holders of e must refresh their pointer before the next event
+		// fires (see Event).
+		s.recycle(e)
+		fn()
 		return true
 	}
 	return false
@@ -144,10 +212,8 @@ func (s *Simulator) Step() bool {
 
 // Run executes events until the queue is empty.
 func (s *Simulator) Run() {
-	s.running = true
 	for s.Step() {
 	}
-	s.running = false
 }
 
 // RunUntil executes events with timestamps <= deadline, then advances the
@@ -168,7 +234,7 @@ func (s *Simulator) stepUntil(deadline Time) bool {
 	for len(s.queue) > 0 {
 		head := s.queue[0]
 		if head.canceled {
-			heap.Pop(&s.queue)
+			s.recycle(s.queue.pop())
 			continue
 		}
 		if head.At > deadline {
@@ -205,9 +271,12 @@ func (s *Simulator) RunUntilLimit(deadline Time, n uint64) uint64 {
 	return done
 }
 
-// Reset drops all pending events and rewinds the clock to zero.
+// Reset drops all pending events and rewinds the clock to zero. Pooled
+// events are dropped too, so a reset simulator holds no references to
+// prior callbacks.
 func (s *Simulator) Reset() {
 	s.queue = nil
+	s.free = nil
 	s.now = 0
 	s.seq = 0
 	s.fired = 0

@@ -1,17 +1,3 @@
-// Package storage models the three checkpoint storage configurations the
-// paper characterizes: VM-local ramdisks, a plain shared NFS server, and
-// the paper's distributively-managed NFS (DM-NFS) in which every
-// physical host doubles as an NFS server and each checkpoint picks one
-// at random.
-//
-// The key behavioral difference (Tables 2 and 3) is how per-checkpoint
-// cost responds to simultaneous checkpoints:
-//
-//   - local ramdisk:  flat (each host writes its own memory);
-//   - plain NFS:      grows steeply with parallel degree (server
-//     congestion / NFS synchronization);
-//   - DM-NFS:         flat (load spreads across many servers), staying
-//     within ~2 s even with simultaneous checkpoints.
 package storage
 
 import (
@@ -48,6 +34,11 @@ func (k Kind) String() string {
 // operation and returns its wall-clock cost (seconds) plus a release
 // function the caller must invoke when the operation's time has elapsed;
 // contention-sensitive backends charge concurrent operations more.
+//
+// Release functions from the built-in backends are pooled: calling one
+// is idempotent until the backend re-issues the underlying operation,
+// so a caller must invoke each release exactly once (an immediate
+// double call is tolerated but must not race a later Begin).
 //
 // Backends are not safe for concurrent use by multiple goroutines; the
 // discrete-event engine drives them from a single goroutine.
@@ -101,6 +92,38 @@ func jittered(r *simeng.RNG, cost, j float64) float64 {
 	return cost * (1 - j + 2*j*r.Float64())
 }
 
+// op is one in-flight checkpoint operation. Its release closure is
+// built once, when the op is first allocated, and reused across pool
+// recycles, so the engine's per-checkpoint Begin/release churn
+// allocates nothing in steady state.
+type op struct {
+	released bool
+	server   int // DM-NFS: chosen server index
+	fn       func()
+}
+
+// opPool recycles ops for one backend instance (single-goroutine use,
+// like the backends themselves).
+type opPool struct {
+	free []*op
+}
+
+// take returns a pooled op reset for reuse, or nil when the pool is
+// empty and the caller must allocate one (binding its release closure).
+func (p *opPool) take() *op {
+	n := len(p.free)
+	if n == 0 {
+		return nil
+	}
+	o := p.free[n-1]
+	p.free[n-1] = nil
+	p.free = p.free[:n-1]
+	o.released = false
+	return o
+}
+
+func (p *opPool) put(o *op) { p.free = append(p.free, o) }
+
 // LocalRamdisk models per-VM ramdisk checkpoint storage. Checkpoint
 // costs follow Figure 7(a) and do not grow with parallel degree
 // (Table 2, upper half); restarting requires migration type A.
@@ -108,6 +131,7 @@ type LocalRamdisk struct {
 	rng      *simeng.RNG
 	jitter   float64
 	inFlight int
+	ops      opPool
 }
 
 // NewLocalRamdisk returns a local-ramdisk backend. rng may be nil for
@@ -126,11 +150,22 @@ func (l *LocalRamdisk) Kind() Kind { return KindLocal }
 func (l *LocalRamdisk) Begin(hostID int, memMB float64) (float64, func()) {
 	cost := jittered(l.rng, blcr.CheckpointCostLocal(memMB), l.jitter)
 	l.inFlight++
-	released := false
-	return cost, func() {
-		if !released {
-			released = true
+	o := l.ops.take()
+	if o == nil {
+		o = &op{}
+		o.fn = l.releaseFn(o)
+	}
+	return cost, o.fn
+}
+
+// releaseFn binds an op's reusable release closure; it runs on every
+// issuance of the op, not just the first.
+func (l *LocalRamdisk) releaseFn(o *op) func() {
+	return func() {
+		if !o.released {
+			o.released = true
 			l.inFlight--
+			l.ops.put(o)
 		}
 	}
 }
@@ -168,6 +203,7 @@ type NFS struct {
 	rng      *simeng.RNG
 	jitter   float64
 	inFlight int
+	ops      opPool
 }
 
 // NewNFS returns a plain shared-NFS backend. rng may be nil for
@@ -188,11 +224,21 @@ func (n *NFS) Begin(hostID int, memMB float64) (float64, func()) {
 	n.inFlight++
 	base := blcr.CheckpointCostNFS(memMB)
 	cost := jittered(n.rng, base*congestion(n.inFlight), n.jitter)
-	released := false
-	return cost, func() {
-		if !released {
-			released = true
+	o := n.ops.take()
+	if o == nil {
+		o = &op{}
+		o.fn = n.releaseFn(o)
+	}
+	return cost, o.fn
+}
+
+// releaseFn binds an op's reusable release closure (see LocalRamdisk).
+func (n *NFS) releaseFn(o *op) func() {
+	return func() {
+		if !o.released {
+			o.released = true
 			n.inFlight--
+			n.ops.put(o)
 		}
 	}
 }
@@ -239,6 +285,7 @@ type DMNFS struct {
 	jitter    float64
 	perServer []int
 	inFlight  int
+	ops       opPool
 }
 
 // NewDMNFS returns a DM-NFS backend with the given number of servers
@@ -272,12 +319,25 @@ func (d *DMNFS) Begin(hostID int, memMB float64) (float64, func()) {
 	d.inFlight++
 	base := blcr.CheckpointCostNFS(memMB)
 	cost := jittered(d.rng, base*congestion(d.perServer[s]), d.jitter)
-	released := false
-	return cost, func() {
-		if !released {
-			released = true
-			d.perServer[s]--
+	o := d.ops.take()
+	if o == nil {
+		o = &op{}
+		o.fn = d.releaseFn(o)
+	}
+	o.server = s
+	return cost, o.fn
+}
+
+// releaseFn binds an op's reusable release closure; the op records the
+// chosen server so the closure can decrement the right counter on every
+// issuance.
+func (d *DMNFS) releaseFn(o *op) func() {
+	return func() {
+		if !o.released {
+			o.released = true
+			d.perServer[o.server]--
 			d.inFlight--
+			d.ops.put(o)
 		}
 	}
 }

@@ -1,15 +1,3 @@
-// Package sweep executes independent simulation runs across a worker
-// pool. It is the parallel backbone of the experiment layer: each
-// figure or table is a list of scenario.Scenario values, and Scenarios
-// fans the corresponding engine runs across GOMAXPROCS workers while
-// guaranteeing byte-identical results for any worker count.
-//
-// Determinism comes from three properties: every run's seed derives
-// only from (base seed, run index) via SplitMix64, never from execution
-// order; traces and history estimators are materialized from those
-// seeds alone and shared read-only; and results are written into
-// index-addressed slots, so scheduling can change only *when* a run
-// executes, never *what* it computes or where it lands.
 package sweep
 
 import (
@@ -55,7 +43,36 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 // into the results slice. Skipped indices record ctx.Err(), and the
 // returned error is errors.Join over every per-index error, canceled
 // and organic alike.
+//
+// Workers claim indices in contiguous chunks (see AutoChunk) to
+// amortize the claim-counter contention when runs are small; results
+// stay index-addressed, so chunking never affects what is computed or
+// where it lands.
 func MapContext[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	return MapChunkedContext(ctx, n, workers, 0, fn)
+}
+
+// AutoChunk returns the chunk size MapContext uses when none is forced:
+// small sweeps stay at one index per claim (maximum load balancing),
+// large sweeps hand each worker runs of indices so the shared counter
+// is touched ~4 times per worker instead of once per index.
+func AutoChunk(n, workers int) int {
+	if workers <= 1 || n <= workers*4 {
+		return 1
+	}
+	chunk := n / (workers * 4)
+	if chunk > 64 {
+		chunk = 64
+	}
+	return chunk
+}
+
+// MapChunkedContext is MapContext with an explicit chunk size: workers
+// claim `chunk` consecutive indices per visit to the shared counter
+// (chunk <= 0 selects AutoChunk). Cancellation remains per-index: a
+// worker mid-chunk records ctx.Err() for the chunk's remaining indices
+// without calling fn.
+func MapChunkedContext[T any](ctx context.Context, n, workers, chunk int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -75,6 +92,9 @@ func MapContext[T any](ctx context.Context, n, workers int, fn func(i int) (T, e
 		}
 		return results, errors.Join(errs...)
 	}
+	if chunk <= 0 {
+		chunk = AutoChunk(n, w)
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(w)
@@ -82,15 +102,21 @@ func MapContext[T any](ctx context.Context, n, workers int, fn func(i int) (T, e
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
+				end := int(next.Add(int64(chunk)))
+				start := end - chunk
+				if start >= n {
 					return
 				}
-				if err := ctx.Err(); err != nil {
-					errs[i] = err
-					continue
+				if end > n {
+					end = n
 				}
-				results[i], errs[i] = fn(i)
+				for i := start; i < end; i++ {
+					if err := ctx.Err(); err != nil {
+						errs[i] = err
+						continue
+					}
+					results[i], errs[i] = fn(i)
+				}
 			}
 		}()
 	}
@@ -155,6 +181,11 @@ type Options struct {
 	DefaultJobs int
 	// Workers is the pool size (0 means GOMAXPROCS).
 	Workers int
+	// Batch is the number of consecutive runs a worker claims per visit
+	// to the shared counter; 0 selects AutoChunk. Results are identical
+	// for every value — batching changes scheduling overhead, never
+	// outputs.
+	Batch int
 	// OnRunStart / OnRunDone, when non-nil, observe individual engine
 	// runs as the pool picks them up and finishes them. Both may be
 	// called concurrently from worker goroutines; neither may block for
@@ -284,8 +315,8 @@ func ScenariosContext(ctx context.Context, runs []Run, opt Options) []Outcome {
 		return trace.BuildEstimator(tr, estLimits[i]), nil
 	})
 
-	// Phase 3: fan the engine runs across the pool.
-	MapContext(ctx, n, opt.Workers, func(i int) (struct{}, error) {
+	// Phase 3: fan the engine runs across the pool, batched per worker.
+	MapChunkedContext(ctx, n, opt.Workers, opt.Batch, func(i int) (struct{}, error) {
 		if opt.OnRunStart != nil {
 			opt.OnRunStart(i, outs[i].Name, seeds[i])
 		}

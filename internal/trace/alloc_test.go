@@ -1,0 +1,49 @@
+package trace
+
+import "testing"
+
+// maxAllocsPerJob budgets the synthetic generator: ~24 allocations per
+// job after the ID formatting moved off fmt (jobs average ~6 tasks, and
+// each task is a struct, an ID string, and slice bookkeeping). The
+// pre-overhaul generator sat near 25 via fmt.Sprintf alone.
+const maxAllocsPerJob = 35
+
+// TestGenerateAllocBudget regression-guards trace generation.
+func TestGenerateAllocBudget(t *testing.T) {
+	cfg := DefaultGenConfig(3, 2000)
+	allocs := testing.AllocsPerRun(3, func() {
+		Generate(cfg)
+	})
+	perJob := allocs / float64(cfg.NumJobs)
+	t.Logf("%.0f allocs for %d jobs = %.2f allocs/job", allocs, cfg.NumJobs, perJob)
+	if perJob > maxAllocsPerJob {
+		t.Errorf("generator allocates %.2f per job, budget %d", perJob, maxAllocsPerJob)
+	}
+}
+
+// TestIDFormatting pins the hand-rolled ID formatters to the fmt
+// formats they replaced.
+func TestIDFormatting(t *testing.T) {
+	cases := []struct {
+		i    int
+		want string
+	}{
+		{0, "j000000"}, {7, "j000007"}, {123456, "j123456"}, {9999999, "j9999999"},
+	}
+	for _, c := range cases {
+		if got := jobIDString(c.i); got != c.want {
+			t.Errorf("jobIDString(%d) = %q, want %q", c.i, got, c.want)
+		}
+	}
+	taskCases := []struct {
+		k    int
+		want string
+	}{
+		{0, "j000001.t00"}, {5, "j000001.t05"}, {42, "j000001.t42"}, {123, "j000001.t123"},
+	}
+	for _, c := range taskCases {
+		if got := taskIDString("j000001", c.k); got != c.want {
+			t.Errorf("taskIDString(%d) = %q, want %q", c.k, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+// Package trace models Google-cluster-like workloads: jobs composed of
+// sequential tasks (ST) or bags of tasks (BoT), with per-task priority,
+// memory footprint, execution length, and a seeded failure process.
+//
+// The authors replay a one-month production trace; this package
+// substitutes a synthetic generator calibrated to the statistics the
+// paper publishes — the Figure 8 CDFs of job memory size and execution
+// length, the Pareto shape of failure intervals with the exponential
+// best fit (lambda = 0.00423445) below 1000 s (Figure 5), and the
+// per-priority MNOF/MTBF structure of Table 7. Policies consume only
+// these statistics, so the substitution preserves the behavior under
+// study.
+//
+// The package splits into four concerns:
+//
+//   - types.go: the Trace/Job/Task model, validation, and the JSON-lines
+//     serialization used by cmd/tracegen;
+//   - gen.go: the seeded synthetic generator (trace.Generate), whose
+//     per-job/per-task draws come from split RNG streams so any single
+//     knob change perturbs only its own stream;
+//   - priorities.go: the per-priority Pareto interval models and
+//     NewFailureProcess, the bridge from a Task to its failure process;
+//   - history.go: failure-history replay (BuildEstimator / EstimateFor),
+//     the paper's estimate-from-the-trace methodology including its
+//     deliberate MTBF-inflation asymmetry.
+//
+// Generation is on the simulator's hot path at large scales, so the
+// generator preallocates its job/task slices and formats IDs without
+// fmt; internal/trace's allocation budget is regression-guarded by
+// TestGenerateAllocBudget.
+package trace

@@ -1,8 +1,8 @@
 package trace
 
 import (
-	"fmt"
 	"math"
+	"strconv"
 
 	"repro/internal/dist"
 	"repro/internal/simeng"
@@ -80,6 +80,33 @@ const (
 // [10, 1000] MB (the VM memory limit in the testbed).
 var taskMemDist = dist.NewLogNormal(math.Log(120), 0.9)
 
+// appendPadded appends i in decimal, zero-padded to at least width
+// digits — the hand-rolled equivalent of fmt's %0*d for the hot
+// generator loop (IDs are the generator's dominant allocation).
+func appendPadded(buf []byte, i, width int) []byte {
+	var tmp [20]byte
+	s := strconv.AppendInt(tmp[:0], int64(i), 10)
+	for pad := width - len(s); pad > 0; pad-- {
+		buf = append(buf, '0')
+	}
+	return append(buf, s...)
+}
+
+// jobIDString formats "j%06d".
+func jobIDString(i int) string {
+	buf := make([]byte, 0, 8)
+	buf = append(buf, 'j')
+	return string(appendPadded(buf, i, 6))
+}
+
+// taskIDString formats "<jobID>.t%02d".
+func taskIDString(jobID string, k int) string {
+	buf := make([]byte, 0, len(jobID)+5)
+	buf = append(buf, jobID...)
+	buf = append(buf, '.', 't')
+	return string(appendPadded(buf, k, 2))
+}
+
 // Generate produces a synthetic trace per cfg. The result is valid by
 // construction (Trace.Validate passes).
 func Generate(cfg GenConfig) *Trace {
@@ -133,7 +160,7 @@ func Generate(cfg GenConfig) *Trace {
 	now := 0.0
 	for i := 0; i < cfg.NumJobs; i++ {
 		now += arrivalRNG.ExpFloat64() / cfg.ArrivalRate
-		jobID := fmt.Sprintf("j%06d", i)
+		jobID := jobIDString(i)
 
 		if shapeRNG.Float64() < serviceFrac {
 			// Long-running service: a replica group of day-scale tasks,
@@ -160,7 +187,7 @@ func Generate(cfg GenConfig) *Trace {
 					length = maxServiceLength
 				}
 				job.Tasks = append(job.Tasks, &Task{
-					ID:          fmt.Sprintf("%s.t%02d", jobID, k),
+					ID:          taskIDString(jobID, k),
 					JobID:       jobID,
 					Index:       k,
 					Priority:    priority,
@@ -217,7 +244,7 @@ func Generate(cfg GenConfig) *Trace {
 				}
 			}
 			task := &Task{
-				ID:          fmt.Sprintf("%s.t%02d", jobID, k),
+				ID:          taskIDString(jobID, k),
 				JobID:       jobID,
 				Index:       k,
 				Priority:    priority,

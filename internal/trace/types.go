@@ -1,15 +1,3 @@
-// Package trace models Google-cluster-like workloads: jobs composed of
-// sequential tasks (ST) or bags of tasks (BoT), with per-task priority,
-// memory footprint, execution length, and a seeded failure process.
-//
-// The authors replay a one-month production trace; this package
-// substitutes a synthetic generator calibrated to the statistics the
-// paper publishes — the Figure 8 CDFs of job memory size and execution
-// length, the Pareto shape of failure intervals with the exponential
-// best fit (lambda = 0.00423445) below 1000 s (Figure 5), and the
-// per-priority MNOF/MTBF structure of Table 7. Policies consume only
-// these statistics, so the substitution preserves the behavior under
-// study.
 package trace
 
 import (

@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"context"
+
+	"repro/internal/benchkit"
+)
+
+// The benchmark subsystem (the `simbench` CLI and the committed
+// BENCH_<date>.json reports) measures registered scenarios at multiple
+// trace scales: wall-clock, allocations, event throughput, and peak
+// heap per cell, plus the allocation-budget comparison against the
+// recorded pre-overhaul baseline. These aliases re-export the internal
+// benchkit types so external tooling can run the matrix through the
+// supported repro/sim surface.
+type (
+	// BenchConfig selects the benchmark matrix (see benchkit.Config).
+	BenchConfig = benchkit.Config
+	// BenchReport is the schema-stable matrix report.
+	BenchReport = benchkit.Report
+	// BenchMeasurement is one (scenario, scale) cell.
+	BenchMeasurement = benchkit.Measurement
+	// BenchAllocBaseline compares the allocation budget against the
+	// recorded pre-overhaul engine.
+	BenchAllocBaseline = benchkit.AllocBaseline
+)
+
+// BenchSchemaVersion identifies the BENCH report layout.
+const BenchSchemaVersion = benchkit.SchemaVersion
+
+// RunBench executes a benchmark matrix and assembles its report. Cell
+// failures land in the cell's Error field; only an unknown scenario
+// name fails the run. The caller stamps Report.CreatedAt.
+func RunBench(ctx context.Context, cfg BenchConfig) (*BenchReport, error) {
+	return benchkit.Run(ctx, cfg)
+}
+
+// BenchDefaultScenarios returns the committed-report scenario matrix.
+func BenchDefaultScenarios() []string { return benchkit.DefaultScenarios() }
+
+// BenchDefaultScales returns the committed-report trace sizes.
+func BenchDefaultScales() []int { return benchkit.DefaultScales() }
+
+// BenchSmokeScales returns the CI smoke-test trace sizes.
+func BenchSmokeScales() []int { return benchkit.SmokeScales() }

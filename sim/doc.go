@@ -55,6 +55,8 @@
 // (OptimalIntervalCount, YoungInterval, AdviseStorage, AdaptivePlan),
 // synthetic trace generation and serialization (GenerateTrace,
 // ReadTrace), distribution fitting (FitFailureDistributions), the named
-// scenario registry (ScenarioByName), and the full experiment registry
-// reproducing every figure and table (RunExperiment, RunExperiments).
+// scenario registry (ScenarioByName), the full experiment registry
+// reproducing every figure and table (RunExperiment, RunExperiments),
+// and the performance-benchmark matrix behind cmd/simbench and the
+// committed BENCH_<date>.json reports (RunBench).
 package sim
