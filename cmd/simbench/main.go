@@ -69,7 +69,7 @@ func main() {
 	case *scale == "default":
 		cfg.Scales = sim.BenchDefaultScales()
 	case *scale == "full":
-		cfg.Scales = append(sim.BenchDefaultScales(), 100000)
+		cfg.Scales = sim.BenchFullScales()
 	default:
 		fmt.Fprintf(os.Stderr, "simbench: unknown -scale %q (want smoke, default, or full)\n", *scale)
 		os.Exit(2)

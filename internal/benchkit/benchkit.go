@@ -77,7 +77,10 @@ type Config struct {
 
 // DefaultScenarios is the matrix the committed BENCH reports cover: the
 // paper's headline setups plus the cloud workloads that stress distinct
-// engine paths (host crashes, non-blocking writes, burst arrivals).
+// engine paths (host crashes, non-blocking writes, burst arrivals, and
+// the two dispatch-stress regimes the indexed dispatch path is
+// accountable to — a saturated flood of short tasks and a big-memory
+// head-of-line mix).
 func DefaultScenarios() []string {
 	return []string{
 		"baseline-f3",
@@ -88,11 +91,18 @@ func DefaultScenarios() []string {
 		"hostfail-storm",
 		"spot-market",
 		"mapreduce-burst",
+		"dispatch-storm",
+		"bigmem-headofline",
 	}
 }
 
 // DefaultScales are the committed-report trace sizes.
 func DefaultScales() []int { return []int{1000, 10000} }
+
+// FullScales adds the 100k-job tier — the scale the indexed dispatch
+// path unlocked; the pre-index engine's quadratic dispatch made
+// saturated cells impractical there.
+func FullScales() []int { return append(DefaultScales(), 100000) }
 
 // SmokeScales are the CI trace sizes: small enough for every push.
 func SmokeScales() []int { return []int{200, 1000} }

@@ -4,10 +4,19 @@
 // with the maximum available memory size will be selected" (greedy
 // load balancing by free memory), and interrupted tasks are restarted
 // on a different host than the one where they failed.
+//
+// Placement queries are served by a tournament tree over the hosts
+// (see hostTree), so Acquire/AcquirePreview/MaxFreeMem cost O(log
+// hosts) or less instead of a linear scan, while choosing exactly the
+// host the scan would have chosen. The package also provides the
+// simulator's PendingQueue (queue.go), demand-indexed for O(log queue)
+// first-fit pops, and retains the pre-index reference implementations
+// (naive.go) as differential-test oracles.
 package cluster
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -46,7 +55,11 @@ func (p *Placement) Active() bool { return p != nil && p.active }
 // It is driven from a single goroutine (the discrete-event simulator).
 type Cluster struct {
 	hosts []*Host
-	seq   uint64
+	// tree indexes live hosts by (free memory desc, id asc); every
+	// mutation of a host's free memory or liveness goes through touch()
+	// so the index never drifts from the host structs.
+	tree *hostTree
+	seq  uint64
 	// free pools released Placements for reuse, so the steady-state
 	// acquire/release churn of restarting tasks allocates nothing.
 	// Callers must drop their pointer once they Release (the engine nils
@@ -65,11 +78,19 @@ func New(hosts int, memMB float64) *Cluster {
 	if !(memMB > 0) {
 		panic(fmt.Sprintf("cluster: host memory must be positive, got %v", memMB))
 	}
-	c := &Cluster{hosts: make([]*Host, hosts)}
+	c := &Cluster{hosts: make([]*Host, hosts), tree: newHostTree(hosts)}
 	for i := range c.hosts {
 		c.hosts[i] = &Host{ID: i, MemMB: memMB, alive: true}
+		c.touch(c.hosts[i])
 	}
 	return c
+}
+
+// touch re-indexes a host after any change to its free memory or
+// liveness. The key is the same MemMB-used subtraction FreeMem()
+// evaluates, so index comparisons see the scan's exact operands.
+func (c *Cluster) touch(h *Host) {
+	c.tree.set(h.ID, h.MemMB-h.used, h.alive)
 }
 
 // Hosts returns the number of hosts.
@@ -93,34 +114,32 @@ func (c *Cluster) Acquire(memMB float64) *Placement {
 // AcquireExcluding is Acquire but never places on the excluded host —
 // used when restarting a failed task "on another host". If only the
 // excluded host has room, the request fails (the task waits).
+//
+// The chosen host is the tournament winner among live, non-excluded
+// hosts; it fits the request iff its free memory does, because every
+// other candidate has no more free memory than the winner. O(log
+// hosts) when the winner is the excluded host, O(1) otherwise.
 func (c *Cluster) AcquireExcluding(memMB float64, excludeHost int) *Placement {
 	if !(memMB > 0) {
 		panic(fmt.Sprintf("cluster: acquire of non-positive memory %v", memMB))
 	}
-	var best *Host
-	for _, h := range c.hosts {
-		if !h.alive || h.ID == excludeHost || h.FreeMem() < memMB {
-			continue
-		}
-		if best == nil || h.FreeMem() > best.FreeMem() ||
-			(h.FreeMem() == best.FreeMem() && h.ID < best.ID) {
-			best = h
-		}
-	}
-	if best == nil {
+	best := c.tree.bestExcluding(excludeHost)
+	if best < 0 || c.tree.keys[best] < memMB {
 		return nil
 	}
-	best.used += memMB
-	best.tasks++
+	h := c.hosts[best]
+	h.used += memMB
+	h.tasks++
+	c.touch(h)
 	c.seq++
 	if n := len(c.free); n > 0 {
 		p := c.free[n-1]
 		c.free[n-1] = nil
 		c.free = c.free[:n-1]
-		*p = Placement{HostID: best.ID, MemMB: memMB, seq: c.seq, active: true}
+		*p = Placement{HostID: h.ID, MemMB: memMB, seq: c.seq, active: true}
 		return p
 	}
-	return &Placement{HostID: best.ID, MemMB: memMB, seq: c.seq, active: true}
+	return &Placement{HostID: h.ID, MemMB: memMB, seq: c.seq, active: true}
 }
 
 // AcquirePreview reports whether AcquireExcluding would succeed, without
@@ -129,12 +148,19 @@ func (c *Cluster) AcquirePreview(memMB float64, excludeHost int) bool {
 	if !(memMB > 0) {
 		return false
 	}
-	for _, h := range c.hosts {
-		if h.alive && h.ID != excludeHost && h.FreeMem() >= memMB {
-			return true
-		}
+	best := c.tree.bestExcluding(excludeHost)
+	return best >= 0 && c.tree.keys[best] >= memMB
+}
+
+// MaxFreeMem returns the largest free memory on any live host — the
+// head of the placement order — in O(1). With no live hosts it returns
+// -Inf, so every (positive) demand fails the fit comparison.
+func (c *Cluster) MaxFreeMem() float64 {
+	best := c.tree.best()
+	if best < 0 {
+		return math.Inf(-1)
 	}
-	return false
+	return c.tree.keys[best]
 }
 
 // Release returns a placement's resources. Releasing an inactive
@@ -152,11 +178,14 @@ func (c *Cluster) Release(p *Placement) {
 	if h.used < 0 {
 		h.used = 0
 	}
+	c.touch(h)
 	p.active = false
 	c.free = append(c.free, p)
 }
 
-// FreeMem returns the total free memory across live hosts.
+// FreeMem returns the total free memory across live hosts. It is an
+// observability helper off the dispatch path, so it keeps the plain
+// in-order sum (an incremental total would accumulate float error).
 func (c *Cluster) FreeMem() float64 {
 	var sum float64
 	for _, h := range c.hosts {
@@ -180,7 +209,9 @@ func (c *Cluster) RunningTasks() int {
 // engine's responsibility to fail over; the cluster only stops placing
 // new work there.
 func (c *Cluster) SetAlive(hostID int, alive bool) {
-	c.Host(hostID).alive = alive
+	h := c.Host(hostID)
+	h.alive = alive
+	c.touch(h)
 }
 
 // Utilization returns the fraction of total memory in use.
@@ -214,59 +245,3 @@ type HostInfo struct {
 	Tasks  int
 	Alive  bool
 }
-
-// PendingQueue is the FIFO queue of tasks waiting for resources, with
-// a restart lane: restarting tasks (already partially executed) are
-// placed ahead of fresh tasks, matching the paper's immediate-restart
-// design.
-type PendingQueue[T any] struct {
-	restarts []T
-	fresh    []T
-}
-
-// PushFresh enqueues a newly arrived task.
-func (q *PendingQueue[T]) PushFresh(v T) { q.fresh = append(q.fresh, v) }
-
-// PushRestart enqueues a task awaiting restart; it takes priority over
-// fresh tasks.
-func (q *PendingQueue[T]) PushRestart(v T) { q.restarts = append(q.restarts, v) }
-
-// Pop dequeues the next task (restarts first), reporting whether one
-// was available.
-func (q *PendingQueue[T]) Pop() (T, bool) {
-	var zero T
-	if len(q.restarts) > 0 {
-		v := q.restarts[0]
-		q.restarts = q.restarts[1:]
-		return v, true
-	}
-	if len(q.fresh) > 0 {
-		v := q.fresh[0]
-		q.fresh = q.fresh[1:]
-		return v, true
-	}
-	return zero, false
-}
-
-// PopWhere dequeues the first task (restarts first) satisfying pred,
-// preserving the order of the rest. It enables memory-aware dispatch:
-// the head may not fit while a smaller task behind it does.
-func (q *PendingQueue[T]) PopWhere(pred func(T) bool) (T, bool) {
-	var zero T
-	for i, v := range q.restarts {
-		if pred(v) {
-			q.restarts = append(q.restarts[:i], q.restarts[i+1:]...)
-			return v, true
-		}
-	}
-	for i, v := range q.fresh {
-		if pred(v) {
-			q.fresh = append(q.fresh[:i], q.fresh[i+1:]...)
-			return v, true
-		}
-	}
-	return zero, false
-}
-
-// Len returns the number of queued tasks.
-func (q *PendingQueue[T]) Len() int { return len(q.restarts) + len(q.fresh) }

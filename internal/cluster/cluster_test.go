@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -12,6 +13,9 @@ func TestNewCluster(t *testing.T) {
 	}
 	if c.FreeMem() != 32*7168 {
 		t.Fatalf("FreeMem = %v", c.FreeMem())
+	}
+	if c.MaxFreeMem() != 7168 {
+		t.Fatalf("MaxFreeMem = %v", c.MaxFreeMem())
 	}
 	if c.RunningTasks() != 0 || c.Utilization() != 0 {
 		t.Fatal("fresh cluster not empty")
@@ -88,6 +92,54 @@ func TestAcquireExcludingSkipsHost(t *testing.T) {
 	}
 }
 
+// TestAcquireExcludingTieBreak pins the index's tie-breaking: among
+// hosts with equal maximum free memory the lowest id must win, also
+// when the exclusion masks the root winner out of the tournament.
+func TestAcquireExcludingTieBreak(t *testing.T) {
+	c := New(5, 1000)
+	// All five hosts tie; excluding the would-be winner (0) must yield
+	// the next id up, not an arbitrary subtree champion.
+	if p := c.AcquireExcluding(100, 0); p.HostID != 1 {
+		t.Fatalf("excluded-tie placement on host %d, want 1", p.HostID)
+	}
+	// Hosts 0,2,3,4 tie at 1000 again; exclusion of 2 keeps 0 first.
+	if p := c.AcquireExcluding(100, 2); p.HostID != 0 {
+		t.Fatalf("placement on host %d, want 0", p.HostID)
+	}
+	// Now 2,3,4 tie at 1000. Exclude 3: lowest of {2,4} wins.
+	if p := c.AcquireExcluding(100, 3); p.HostID != 2 {
+		t.Fatalf("placement on host %d, want 2", p.HostID)
+	}
+	// Remaining full-free hosts: 3,4. Exclude 3 -> 4.
+	if p := c.AcquireExcluding(100, 3); p.HostID != 4 {
+		t.Fatalf("placement on host %d, want 4", p.HostID)
+	}
+}
+
+// TestOnlyExcludedHostFits covers the preview/acquire pair in the case
+// the demand filter alone cannot decide: the cluster-wide maximum free
+// memory fits the request, but it sits entirely on the excluded host.
+func TestOnlyExcludedHostFits(t *testing.T) {
+	c := New(3, 1000)
+	c.AcquireExcluding(900, -1) // host 0 -> 100 free
+	c.AcquireExcluding(800, 0)  // host 1 -> 200 free; host 2 keeps 1000
+	if got := c.MaxFreeMem(); got != 1000 {
+		t.Fatalf("MaxFreeMem = %v, want 1000", got)
+	}
+	// 500 MB fits only on host 2. Excluding host 2 must fail both the
+	// preview and the acquire, even though MaxFreeMem says 1000.
+	if c.AcquirePreview(500, 2) {
+		t.Fatal("preview claims a fit with the only fitting host excluded")
+	}
+	if p := c.AcquireExcluding(500, 2); p != nil {
+		t.Fatalf("acquire placed on host %d with the only fitting host excluded", p.HostID)
+	}
+	// Not excluding it succeeds on host 2.
+	if p := c.AcquireExcluding(500, 0); p == nil || p.HostID != 2 {
+		t.Fatalf("placement = %+v, want host 2", p)
+	}
+}
+
 func TestReleasePanicsOnDoubleRelease(t *testing.T) {
 	c := New(1, 100)
 	p := c.Acquire(50)
@@ -119,6 +171,60 @@ func TestSetAliveExcludesHost(t *testing.T) {
 	}
 }
 
+// TestHostChurnKeepsIndexConsistent cycles hosts up and down while
+// placing and releasing, checking the index never places on a dead
+// host and recovers revived hosts' capacity.
+func TestHostChurnKeepsIndexConsistent(t *testing.T) {
+	c := New(4, 1000)
+	var live []*Placement
+	for round := 0; round < 50; round++ {
+		down := round % 4
+		c.SetAlive(down, false)
+		if got := c.MaxFreeMem(); math.IsInf(got, -1) {
+			t.Fatalf("round %d: no live host reported with 3 up", round)
+		}
+		for i := 0; i < 3; i++ {
+			p := c.Acquire(100)
+			if p == nil {
+				break
+			}
+			if p.HostID == down {
+				t.Fatalf("round %d: placed on downed host %d", round, down)
+			}
+			live = append(live, p)
+		}
+		c.SetAlive(down, true)
+		// Release about half to keep churn going.
+		for len(live) > 6 {
+			c.Release(live[len(live)-1])
+			live = live[:len(live)-1]
+		}
+	}
+	for _, p := range live {
+		c.Release(p)
+	}
+	if c.RunningTasks() != 0 {
+		t.Fatalf("RunningTasks = %d after draining", c.RunningTasks())
+	}
+	if got := c.MaxFreeMem(); got != 1000 {
+		t.Fatalf("MaxFreeMem = %v after draining, want 1000", got)
+	}
+}
+
+// TestMaxFreeMemNoLiveHosts pins the -Inf contract the engine's
+// saturation early-exit relies on.
+func TestMaxFreeMemNoLiveHosts(t *testing.T) {
+	c := New(2, 1000)
+	c.SetAlive(0, false)
+	c.SetAlive(1, false)
+	if got := c.MaxFreeMem(); !math.IsInf(got, -1) {
+		t.Fatalf("MaxFreeMem = %v with no live hosts, want -Inf", got)
+	}
+	if c.AcquirePreview(1, -1) {
+		t.Fatal("preview succeeded with no live hosts")
+	}
+}
+
 func TestUtilizationAndSnapshot(t *testing.T) {
 	c := New(2, 1000)
 	c.Acquire(500)
@@ -146,9 +252,9 @@ func TestAcquirePanicsOnBadMem(t *testing.T) {
 
 func TestPendingQueueFIFO(t *testing.T) {
 	var q PendingQueue[int]
-	q.PushFresh(1)
-	q.PushFresh(2)
-	q.PushFresh(3)
+	q.PushFresh(1, 10)
+	q.PushFresh(2, 10)
+	q.PushFresh(3, 10)
 	for want := 1; want <= 3; want++ {
 		got, ok := q.Pop()
 		if !ok || got != want {
@@ -162,10 +268,10 @@ func TestPendingQueueFIFO(t *testing.T) {
 
 func TestPendingQueueRestartsFirst(t *testing.T) {
 	var q PendingQueue[string]
-	q.PushFresh("fresh1")
-	q.PushRestart("restart1")
-	q.PushFresh("fresh2")
-	q.PushRestart("restart2")
+	q.PushFresh("fresh1", 1)
+	q.PushRestart("restart1", 1)
+	q.PushFresh("fresh2", 1)
+	q.PushRestart("restart2", 1)
 	want := []string{"restart1", "restart2", "fresh1", "fresh2"}
 	for _, w := range want {
 		got, ok := q.Pop()
@@ -177,9 +283,9 @@ func TestPendingQueueRestartsFirst(t *testing.T) {
 
 func TestPendingQueuePopWhere(t *testing.T) {
 	var q PendingQueue[int]
-	q.PushFresh(100)
-	q.PushFresh(5)
-	q.PushFresh(50)
+	q.PushFresh(100, 100)
+	q.PushFresh(5, 5)
+	q.PushFresh(50, 50)
 	got, ok := q.PopWhere(func(v int) bool { return v <= 10 })
 	if !ok || got != 5 {
 		t.Fatalf("PopWhere = %d,%v", got, ok)
@@ -195,6 +301,156 @@ func TestPendingQueuePopWhere(t *testing.T) {
 	}
 	if _, ok := q.PopWhere(func(int) bool { return true }); ok {
 		t.Fatal("PopWhere on empty queue succeeded")
+	}
+}
+
+func TestPendingQueuePopFitting(t *testing.T) {
+	var q PendingQueue[int]
+	q.PushFresh(100, 100)
+	q.PushFresh(5, 5)
+	q.PushFresh(50, 50)
+	q.PushFresh(7, 7)
+	if got := q.MinDemand(); got != 5 {
+		t.Fatalf("MinDemand = %v, want 5", got)
+	}
+	// First fit in FIFO order under a 60 MB ceiling is 5.
+	got, ok := q.PopFitting(60, nil)
+	if !ok || got != 5 {
+		t.Fatalf("PopFitting = %d,%v, want 5", got, ok)
+	}
+	// A fits predicate can veto a demand-fitting candidate: 50 is
+	// rejected, the scan moves on to 7 without disturbing order.
+	got, ok = q.PopFitting(60, func(v int) bool { return v != 50 })
+	if !ok || got != 7 {
+		t.Fatalf("PopFitting with veto = %d,%v, want 7", got, ok)
+	}
+	// Nothing fits under 10 MB anymore.
+	if _, ok := q.PopFitting(10, nil); ok {
+		t.Fatal("PopFitting found a fit below the minimum demand")
+	}
+	// Remaining order preserved: 100 then 50.
+	a, _ := q.Pop()
+	b, _ := q.Pop()
+	if a != 100 || b != 50 {
+		t.Fatalf("remaining order %d,%d", a, b)
+	}
+	if got := q.MinDemand(); !math.IsInf(got, 1) {
+		t.Fatalf("MinDemand on empty queue = %v, want +Inf", got)
+	}
+}
+
+// TestPendingQueuePopFittingUnbounded pins the non-finite maxFree
+// contract: +Inf means "no demand limit" and must skip tombstones left
+// by mid-queue removals (never returning a zero item), NaN matches
+// nothing.
+func TestPendingQueuePopFittingUnbounded(t *testing.T) {
+	var q PendingQueue[int]
+	q.PushFresh(1, 5)
+	q.PushFresh(2, 7)
+	q.PushFresh(3, 9)
+	// Mid-queue removal leaves a tombstone (+Inf leaf) at slot 1.
+	if v, ok := q.PopWhere(func(v int) bool { return v == 2 }); !ok || v != 2 {
+		t.Fatalf("PopWhere = %d,%v", v, ok)
+	}
+	if v, ok := q.PopFitting(math.NaN(), nil); ok {
+		t.Fatalf("PopFitting(NaN) returned %d", v)
+	}
+	// Unbounded pop must return the first live item, not the tombstone.
+	if v, ok := q.PopFitting(math.Inf(1), func(v int) bool { return v != 1 }); !ok || v != 3 {
+		t.Fatalf("PopFitting(+Inf, veto 1) = %d,%v, want 3", v, ok)
+	}
+	if v, ok := q.PopFitting(math.Inf(1), nil); !ok || v != 1 {
+		t.Fatalf("PopFitting(+Inf) = %d,%v, want 1", v, ok)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after draining", q.Len())
+	}
+}
+
+// TestPendingQueueRestartLaneFitsFirst pins the lane priority of the
+// indexed pop: a fitting restart wins over an earlier-demand fresh
+// task.
+func TestPendingQueueRestartLaneFitsFirst(t *testing.T) {
+	var q PendingQueue[string]
+	q.PushFresh("small-fresh", 1)
+	q.PushRestart("big-restart", 80)
+	q.PushRestart("small-restart", 10)
+	got, ok := q.PopFitting(20, nil)
+	if !ok || got != "small-restart" {
+		t.Fatalf("PopFitting = %q,%v, want small-restart", got, ok)
+	}
+	got, ok = q.PopFitting(100, nil)
+	if !ok || got != "big-restart" {
+		t.Fatalf("PopFitting = %q,%v, want big-restart", got, ok)
+	}
+}
+
+// TestPendingQueueReleasesPoppedReferences guards the reference-
+// retention fix: vacated ring slots must not keep popped items alive
+// in the backing array.
+func TestPendingQueueReleasesPoppedReferences(t *testing.T) {
+	var q PendingQueue[*int]
+	a, b, c := new(int), new(int), new(int)
+	q.PushFresh(a, 1)
+	q.PushFresh(b, 2)
+	q.PushFresh(c, 3)
+	if v, _ := q.Pop(); v != a {
+		t.Fatal("unexpected pop order")
+	}
+	if v, ok := q.PopWhere(func(p *int) bool { return p == c }); !ok || v != c {
+		t.Fatal("PopWhere missed the target")
+	}
+	for i, it := range q.fresh.items {
+		if it != nil && it != b {
+			t.Errorf("slot %d retains a popped reference", i)
+		}
+	}
+	if v, ok := q.PopFitting(2, nil); !ok || v != b {
+		t.Fatal("PopFitting missed the survivor")
+	}
+	for i, it := range q.fresh.items {
+		if it != nil {
+			t.Errorf("slot %d retains a reference after draining", i)
+		}
+	}
+}
+
+// TestPendingQueueWraparound pushes and pops past the initial ring
+// capacity repeatedly so logical positions wrap physical slots, with
+// mid-queue removals in the mix.
+func TestPendingQueueWraparound(t *testing.T) {
+	var q PendingQueue[int]
+	demand := func(v int) float64 { return float64(v%9) + 1 }
+	var model []int // FIFO mirror of the fresh lane
+	next := 0
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 3; i++ {
+			q.PushFresh(next, demand(next))
+			model = append(model, next)
+			next++
+		}
+		// One mid-queue indexed pop, then FIFO pops.
+		v, ok := q.PopFitting(3, nil)
+		wantIdx := -1
+		for i, w := range model {
+			if demand(w) <= 3 {
+				wantIdx = i
+				break
+			}
+		}
+		if (wantIdx < 0) != !ok || (ok && v != model[wantIdx]) {
+			t.Fatalf("round %d: PopFitting = %d,%v, model %v", round, v, ok, model)
+		}
+		if ok {
+			model = append(model[:wantIdx], model[wantIdx+1:]...)
+		}
+		for q.Len() > 5 {
+			v, ok := q.Pop()
+			if !ok || v != model[0] {
+				t.Fatalf("round %d: Pop = %d,%v, want %d", round, v, ok, model[0])
+			}
+			model = model[1:]
+		}
 	}
 }
 

@@ -1,0 +1,94 @@
+package cluster
+
+// hostTree is a tournament tree (max-segment tree) over host ids,
+// keyed by the placement policy's total order: more free memory first,
+// lower id on ties. Each interior node stores the winning host id of
+// its subtree (-1 when no host in the subtree is eligible), so the
+// overall winner is read off the root in O(1) and point updates —
+// acquire, release, host up/down — rewind one leaf-to-root path in
+// O(log hosts). Dead hosts keep their key but become ineligible, which
+// is exactly the linear scan's `!h.alive` skip.
+type hostTree struct {
+	// keys[id] is host id's free memory, maintained by the cluster as
+	// the identical MemMB-used subtraction the linear scan evaluated,
+	// so every comparison sees bit-identical operands.
+	keys []float64
+	// node is the 1-based tournament array; node[1] is the root winner
+	// and node[leafBase+id] the leaf for host id.
+	node     []int32
+	leafBase int
+}
+
+func newHostTree(n int) *hostTree {
+	base := 1
+	for base < n {
+		base *= 2
+	}
+	t := &hostTree{
+		keys:     make([]float64, n),
+		node:     make([]int32, 2*base),
+		leafBase: base,
+	}
+	for i := range t.node {
+		t.node[i] = -1
+	}
+	return t
+}
+
+// beats reports whether host a wins over host b: strictly more free
+// memory, or equal free memory and a lower id. Among eligible hosts
+// this is a strict total order, so any comparison order yields the
+// same champion.
+func (t *hostTree) beats(a, b int32) bool {
+	ka, kb := t.keys[a], t.keys[b]
+	return ka > kb || (ka == kb && a < b)
+}
+
+// better combines two tournament entries, treating -1 as a bye.
+func (t *hostTree) better(a, b int32) int32 {
+	if a < 0 {
+		return b
+	}
+	if b < 0 {
+		return a
+	}
+	if t.beats(b, a) {
+		return b
+	}
+	return a
+}
+
+// set updates host id's key and eligibility and replays its matches up
+// to the root.
+func (t *hostTree) set(id int, key float64, eligible bool) {
+	t.keys[id] = key
+	i := t.leafBase + id
+	if eligible {
+		t.node[i] = int32(id)
+	} else {
+		t.node[i] = -1
+	}
+	for i >>= 1; i >= 1; i >>= 1 {
+		t.node[i] = t.better(t.node[2*i], t.node[2*i+1])
+	}
+}
+
+// best returns the winning host id, or -1 when no host is eligible.
+func (t *hostTree) best() int { return int(t.node[1]) }
+
+// bestExcluding returns the winner with one host masked out. When the
+// root winner is not the excluded host the root already answers; when
+// it is, the runner-up is the best among the sibling subtrees along
+// the excluded leaf's path — the subtrees partition every other host,
+// so combining their champions is O(log hosts).
+func (t *hostTree) bestExcluding(ex int) int {
+	w := t.node[1]
+	if w < 0 || ex < 0 || ex >= len(t.keys) || int(w) != ex {
+		return int(w)
+	}
+	best := int32(-1)
+	for i := t.leafBase + ex; i > 1; i >>= 1 {
+		best = t.better(best, t.node[i^1])
+	}
+	return int(best)
+}

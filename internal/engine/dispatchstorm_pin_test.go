@@ -1,0 +1,24 @@
+package engine_test
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/scenario"
+)
+
+// TestSaturatedBenchMatchesDispatchStorm pins the in-package
+// dispatch-bound benchmark regime (bench_test.go's saturatedGen) to
+// the registered dispatch-storm scenario: if one is tuned without the
+// other, the saturated alloc-budget guard would silently keep
+// measuring a regime the catalog no longer ships.
+func TestSaturatedBenchMatchesDispatchStorm(t *testing.T) {
+	sc, ok := scenario.Get("dispatch-storm")
+	if !ok {
+		t.Fatal("dispatch-storm not registered")
+	}
+	want := sc.Workload.GenConfig(7, 1000)
+	if got := engine.SaturatedGen(7, 1000); got != want {
+		t.Fatalf("benchmark regime diverged from the dispatch-storm scenario:\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -386,7 +386,7 @@ func (e *engineState) onJobArrival(job *trace.Job, jr *JobResult) {
 func (e *engineState) submitTask(t *trace.Task, jr *JobResult) {
 	run := newTaskRun(e, t, jr, e.sim.Now())
 	e.runs[t.ID] = run
-	e.queue.PushFresh(run)
+	e.queue.PushFresh(run, t.MemMB)
 	e.scheduleDispatch()
 }
 
@@ -403,14 +403,25 @@ func (e *engineState) scheduleDispatch() {
 
 func (e *engineState) dispatch() {
 	for {
-		run, ok := e.queue.PopWhere(e.fitsFn)
+		// Saturation early-exit: when even the smallest queued demand
+		// exceeds the best host's free memory nothing can place, so the
+		// pass costs one comparison — the common case for completions in
+		// a saturated cluster, where each finishing task frees too little
+		// to admit anything.
+		maxFree := e.cl.MaxFreeMem()
+		if e.queue.MinDemand() > maxFree {
+			return
+		}
+		// The demand index narrows the scan to tasks that fit the best
+		// host; fitsFn re-checks the ones with a host to avoid.
+		run, ok := e.queue.PopFitting(maxFree, e.fitsFn)
 		if !ok {
 			return
 		}
 		p := e.cl.AcquireExcluding(run.task.MemMB, run.excludeHost)
 		if p == nil {
 			// Lost a race within this dispatch pass; requeue and stop.
-			e.queue.PushRestart(run)
+			e.queue.PushRestart(run, run.task.MemMB)
 			return
 		}
 		run.start(p, e.sim.Now()+e.cfg.ScheduleDelay)

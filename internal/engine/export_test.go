@@ -1,0 +1,10 @@
+package engine
+
+import "repro/internal/trace"
+
+// SaturatedGen exposes the dispatch-bound benchmark regime to the
+// external pin test (dispatchstorm_pin_test.go), which ties it to the
+// registered dispatch-storm scenario. The indirection exists because
+// in-package tests cannot import internal/scenario (it imports
+// engine).
+func SaturatedGen(seed uint64, jobs int) trace.GenConfig { return saturatedGen(seed, jobs) }

@@ -213,7 +213,7 @@ func (r *taskRun) fire() {
 	case actRequeue:
 		// The polling thread detected the interruption; the task
 		// re-enters the queue's restart lane.
-		r.eng.queue.PushRestart(r)
+		r.eng.queue.PushRestart(r, r.task.MemMB)
 		r.eng.scheduleDispatch()
 	}
 }

@@ -87,6 +87,30 @@ func init() {
 			},
 		},
 		{
+			Name: "dispatch-storm",
+			Description: "dispatch stress: a flood of short bag-of-tasks work arriving eight times faster " +
+				"than the default keeps the pending queue thousands of tasks deep",
+			Policy: "formula3",
+			Workload: Workload{
+				BoTFraction:     0.95,
+				ArrivalRate:     0.96,
+				MaxTaskLength:   1800,
+				ServiceFraction: -1,
+			},
+		},
+		{
+			Name: "bigmem-headofline",
+			Description: "dispatch stress: memory demands up to most of a host, so blocked big-memory heads " +
+				"leave first-fit to place smaller tasks queued behind them",
+			Policy: "formula3",
+			Workload: Workload{
+				BoTFraction:     0.6,
+				ArrivalRate:     0.48,
+				MaxTaskMemMB:    6144,
+				ServiceFraction: -1,
+			},
+		},
+		{
 			Name:        "hpc-long-jobs",
 			Description: "HPC-like tier: hour-to-six-hour sequential tasks checkpointing to the shared disk",
 			Policy:      "formula3",

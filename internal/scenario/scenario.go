@@ -31,6 +31,11 @@ type Workload struct {
 	// (0 keeps the generator defaults of 6 h and 30 s).
 	MaxTaskLength float64
 	MinTaskLength float64
+	// MaxTaskMemMB / MinTaskMemMB bound per-task memory demands in MB
+	// (0 keeps the generator defaults of 1000 and 10). Demands near the
+	// per-host memory produce head-of-line-blocking dispatch regimes.
+	MaxTaskMemMB float64
+	MinTaskMemMB float64
 	// PriorityChangeFraction is the share of tasks whose priority flips
 	// mid-execution (the Figure 14 scenario).
 	PriorityChangeFraction float64
@@ -58,6 +63,8 @@ func (w Workload) GenConfig(seed uint64, defaultJobs int) trace.GenConfig {
 	}
 	cfg.MaxTaskLength = w.MaxTaskLength
 	cfg.MinTaskLength = w.MinTaskLength
+	cfg.MaxTaskMemMB = w.MaxTaskMemMB
+	cfg.MinTaskMemMB = w.MinTaskMemMB
 	cfg.PriorityChangeFraction = w.PriorityChangeFraction
 	cfg.ServiceFraction = w.ServiceFraction
 	return cfg

@@ -26,6 +26,12 @@ type GenConfig struct {
 	MaxTaskLength float64
 	// MinTaskLength floors task lengths (seconds); 0 means 30 s.
 	MinTaskLength float64
+	// MaxTaskMemMB caps per-task memory demands (MB); 0 means the
+	// paper's 1000 MB VM limit (Figure 8a). Raising it toward the
+	// per-host memory creates head-of-line-blocking dispatch regimes.
+	MaxTaskMemMB float64
+	// MinTaskMemMB floors per-task memory demands (MB); 0 means 10 MB.
+	MinTaskMemMB float64
 	// PriorityChangeFraction is the fraction of tasks whose priority
 	// flips mid-execution (the Figure 14 scenario). 0 disables flips.
 	PriorityChangeFraction float64
@@ -38,6 +44,21 @@ type GenConfig struct {
 	// disables services; 0 selects the default 0.06.
 	ServiceFraction float64
 }
+
+// The generator's default task bounds, applied wherever the
+// corresponding GenConfig field is zero. Exported so API layers
+// validating bounds (sim.Workload / sim.TraceConfig) stay in lockstep
+// with the clamps Generate actually applies.
+const (
+	// DefaultMinTaskLengthSec / DefaultMaxTaskLengthSec bound task
+	// lengths: 30 s to the paper's 6-hour job-length ceiling (Fig. 8b).
+	DefaultMinTaskLengthSec = 30.0
+	DefaultMaxTaskLengthSec = 6 * 3600.0
+	// DefaultMinTaskMemMB / DefaultMaxTaskMemMB bound per-task memory:
+	// 10 MB to the testbed's 1000 MB VM limit (Figure 8a).
+	DefaultMinTaskMemMB = 10.0
+	DefaultMaxTaskMemMB = 1000.0
+)
 
 // DefaultGenConfig returns the configuration used by the headline
 // experiments: mixes and magnitudes follow Figure 8 and Section 5.1.
@@ -121,14 +142,25 @@ func Generate(cfg GenConfig) *Trace {
 	}
 	minLen := cfg.MinTaskLength
 	if minLen <= 0 {
-		minLen = 30
+		minLen = DefaultMinTaskLengthSec
 	}
 	maxLen := cfg.MaxTaskLength
 	if maxLen <= 0 {
-		maxLen = 6 * 3600
+		maxLen = DefaultMaxTaskLengthSec
 	}
 	if maxLen <= minLen {
 		panic("trace: Generate requires MaxTaskLength > MinTaskLength")
+	}
+	minMem := cfg.MinTaskMemMB
+	if minMem <= 0 {
+		minMem = DefaultMinTaskMemMB
+	}
+	maxMem := cfg.MaxTaskMemMB
+	if maxMem <= 0 {
+		maxMem = DefaultMaxTaskMemMB
+	}
+	if maxMem <= minMem {
+		panic("trace: Generate requires MaxTaskMemMB > MinTaskMemMB")
 	}
 
 	serviceFrac := cfg.ServiceFraction
@@ -192,7 +224,7 @@ func Generate(cfg GenConfig) *Trace {
 					Index:       k,
 					Priority:    priority,
 					LengthSec:   length,
-					MemMB:       clampedLogNormal(memRNG, taskMemDist, 10, 1000),
+					MemMB:       clampedLogNormal(memRNG, taskMemDist, minMem, maxMem),
 					InputUnits:  inputUnits(length),
 					FailureSeed: seedRNG.Uint64(),
 				})
@@ -226,13 +258,13 @@ func Generate(cfg GenConfig) *Trace {
 		// BoT tasks share a common scale (they are replicas of one
 		// computation), ST tasks vary independently.
 		baseLen := clampedLogNormal(lenRNG, taskLengthDist, minLen, maxLen)
-		baseMem := clampedLogNormal(memRNG, taskMemDist, 10, 1000)
+		baseMem := clampedLogNormal(memRNG, taskMemDist, minMem, maxMem)
 		for k := 0; k < nTasks; k++ {
 			length := baseLen
 			mem := baseMem
 			if structure == Sequential {
 				length = clampedLogNormal(lenRNG, taskLengthDist, minLen, maxLen)
-				mem = clampedLogNormal(memRNG, taskMemDist, 10, 1000)
+				mem = clampedLogNormal(memRNG, taskMemDist, minMem, maxMem)
 			} else {
 				// Replicas differ slightly (input skew).
 				length *= 0.85 + 0.3*lenRNG.Float64()

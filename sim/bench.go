@@ -41,5 +41,8 @@ func BenchDefaultScenarios() []string { return benchkit.DefaultScenarios() }
 // BenchDefaultScales returns the committed-report trace sizes.
 func BenchDefaultScales() []int { return benchkit.DefaultScales() }
 
+// BenchFullScales returns the default scales plus the 100k-job tier.
+func BenchFullScales() []int { return benchkit.FullScales() }
+
 // BenchSmokeScales returns the CI smoke-test trace sizes.
 func BenchSmokeScales() []int { return benchkit.SmokeScales() }

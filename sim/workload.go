@@ -25,6 +25,10 @@ type Workload struct {
 	// the generator defaults of 6 h and 30 s).
 	MaxTaskLengthSec float64
 	MinTaskLengthSec float64
+	// MaxTaskMemMB / MinTaskMemMB bound per-task memory demands (0
+	// keeps the generator defaults of 1000 and 10 MB).
+	MaxTaskMemMB float64
+	MinTaskMemMB float64
 	// PriorityChangeFraction is the share of tasks whose priority flips
 	// mid-execution (the paper's Figure 14 scenario).
 	PriorityChangeFraction float64
@@ -40,6 +44,8 @@ func (w Workload) toScenario() scenario.Workload {
 		BoTFraction:            w.BoTFraction,
 		MaxTaskLength:          w.MaxTaskLengthSec,
 		MinTaskLength:          w.MinTaskLengthSec,
+		MaxTaskMemMB:           w.MaxTaskMemMB,
+		MinTaskMemMB:           w.MinTaskMemMB,
 		PriorityChangeFraction: w.PriorityChangeFraction,
 		ServiceFraction:        w.ServiceFraction,
 	}
@@ -62,6 +68,10 @@ type TraceConfig struct {
 	// ceiling); MinTaskLengthSec floors them (0 means 30 s).
 	MaxTaskLengthSec float64
 	MinTaskLengthSec float64
+	// MaxTaskMemMB caps per-task memory demands (0 means the 1000 MB
+	// VM limit); MinTaskMemMB floors them (0 means 10 MB).
+	MaxTaskMemMB float64
+	MinTaskMemMB float64
 	// PriorityChangeFraction is the fraction of tasks whose priority
 	// flips mid-execution.
 	PriorityChangeFraction float64
@@ -106,6 +116,9 @@ func GenerateTrace(cfg TraceConfig) (*Trace, error) {
 	if err := checkLengthBounds(cfg.MinTaskLengthSec, cfg.MaxTaskLengthSec); err != nil {
 		return nil, err
 	}
+	if err := checkMemBounds(cfg.MinTaskMemMB, cfg.MaxTaskMemMB); err != nil {
+		return nil, err
+	}
 	return &Trace{tr: trace.Generate(trace.GenConfig{
 		Seed:                   cfg.Seed,
 		NumJobs:                cfg.Jobs,
@@ -113,6 +126,8 @@ func GenerateTrace(cfg TraceConfig) (*Trace, error) {
 		BoTFraction:            cfg.BoTFraction,
 		MaxTaskLength:          cfg.MaxTaskLengthSec,
 		MinTaskLength:          cfg.MinTaskLengthSec,
+		MaxTaskMemMB:           cfg.MaxTaskMemMB,
+		MinTaskMemMB:           cfg.MinTaskMemMB,
 		PriorityChangeFraction: cfg.PriorityChangeFraction,
 		ServiceFraction:        cfg.ServiceFraction,
 	})}, nil
@@ -123,13 +138,29 @@ func GenerateTrace(cfg TraceConfig) (*Trace, error) {
 func checkLengthBounds(minSec, maxSec float64) error {
 	effMin, effMax := minSec, maxSec
 	if effMin <= 0 {
-		effMin = 30
+		effMin = trace.DefaultMinTaskLengthSec
 	}
 	if effMax <= 0 {
-		effMax = 6 * 3600
+		effMax = trace.DefaultMaxTaskLengthSec
 	}
 	if effMax <= effMin {
 		return fmt.Errorf("sim: task-length bounds inverted (min %g s, max %g s)", effMin, effMax)
+	}
+	return nil
+}
+
+// checkMemBounds validates task-memory bounds after applying the
+// generator defaults (10 MB floor, 1000 MB ceiling) for zero values.
+func checkMemBounds(minMB, maxMB float64) error {
+	effMin, effMax := minMB, maxMB
+	if effMin <= 0 {
+		effMin = trace.DefaultMinTaskMemMB
+	}
+	if effMax <= 0 {
+		effMax = trace.DefaultMaxTaskMemMB
+	}
+	if effMax <= effMin {
+		return fmt.Errorf("sim: task-memory bounds inverted (min %g MB, max %g MB)", effMin, effMax)
 	}
 	return nil
 }
@@ -143,7 +174,10 @@ func (w Workload) validate() error {
 	if w.BoTFraction > 1 {
 		return fmt.Errorf("sim: Workload.BoTFraction %g exceeds 1", w.BoTFraction)
 	}
-	return checkLengthBounds(w.MinTaskLengthSec, w.MaxTaskLengthSec)
+	if err := checkLengthBounds(w.MinTaskLengthSec, w.MaxTaskLengthSec); err != nil {
+		return err
+	}
+	return checkMemBounds(w.MinTaskMemMB, w.MaxTaskMemMB)
 }
 
 // ReadTrace parses a JSON-lines trace written by Write and validates
