@@ -33,26 +33,42 @@ import (
 
 func main() {
 	var (
-		scale     = flag.String("scale", "default", "matrix preset: smoke | default | full (overridden by -scales)")
+		scale     = flag.String("scale", "default", "matrix preset: smoke | default | full | xl (overridden by -scales)")
 		scalesCSV = flag.String("scales", "", "comma-separated trace sizes in jobs (overrides -scale)")
 		scenarios = flag.String("scenarios", "", "comma-separated registry scenario names (default: the committed matrix)")
+		extra     = flag.String("extra", "", "comma-separated scenario@jobs cells measured after the matrix (e.g. baseline-f3@1000000)")
 		seed      = flag.Uint64("seed", 20130601, "workload seed; identical seeds reproduce the simulated anchors exactly")
 		runs      = flag.Int("runs", 1, "repetitions per cell; the report keeps the fastest")
+		gogc      = flag.Int("gogc", 0, "GC target percentage applied via debug.SetGCPercent (0 = leave the runtime default; recorded in the report)")
+		memlimit  = flag.Int64("memlimit", 0, "soft memory limit in bytes applied via debug.SetMemoryLimit (0 = leave unlimited; recorded in the report)")
 		out       = flag.String("out", "", `report path (default BENCH_<yyyy-mm-dd>.json; "-" for stdout)`)
 		noBase    = flag.Bool("skip-baseline", false, "skip the dedicated 10k-job allocation-budget cell")
 	)
 	flag.Parse()
 
 	cfg := sim.BenchConfig{
-		Seed:         *seed,
-		Runs:         *runs,
-		SkipBaseline: *noBase,
+		Seed:          *seed,
+		Runs:          *runs,
+		SkipBaseline:  *noBase,
+		GOGCPercent:   *gogc,
+		MemLimitBytes: *memlimit,
 		Progress: func(label string) {
 			fmt.Fprintf(os.Stderr, "simbench: measuring %s\n", label)
 		},
 	}
 	if *scenarios != "" {
 		cfg.Scenarios = strings.Split(*scenarios, ",")
+	}
+	if *extra != "" {
+		for _, f := range strings.Split(*extra, ",") {
+			name, jobsStr, ok := strings.Cut(strings.TrimSpace(f), "@")
+			n, err := strconv.Atoi(jobsStr)
+			if !ok || name == "" || err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "simbench: bad -extra entry %q (want scenario@jobs)\n", f)
+				os.Exit(2)
+			}
+			cfg.ExtraCells = append(cfg.ExtraCells, sim.BenchCell{Scenario: name, Jobs: n})
+		}
 	}
 	switch {
 	case *scalesCSV != "":
@@ -70,8 +86,10 @@ func main() {
 		cfg.Scales = sim.BenchDefaultScales()
 	case *scale == "full":
 		cfg.Scales = sim.BenchFullScales()
+	case *scale == "xl":
+		cfg.Scales = sim.BenchXLScales()
 	default:
-		fmt.Fprintf(os.Stderr, "simbench: unknown -scale %q (want smoke, default, or full)\n", *scale)
+		fmt.Fprintf(os.Stderr, "simbench: unknown -scale %q (want smoke, default, full, or xl)\n", *scale)
 		os.Exit(2)
 	}
 
@@ -116,6 +134,15 @@ func main() {
 	if b := rep.Baseline; b != nil {
 		fmt.Fprintf(os.Stderr, "simbench: alloc budget @ %d jobs: %d pre-PR -> %d now (%.1f%% reduction)\n",
 			b.Jobs, b.PrePRAllocsPerOp, b.PostPRAllocsPerOp, b.AllocReductionPct)
+	}
+	if d := rep.Derived; d != nil {
+		for _, s := range d.ScaleSlowdowns {
+			fmt.Fprintf(os.Stderr, "simbench: %-16s %d:%d slowdown %.2fx\n", s.Scenario, s.ToJobs, s.FromJobs, s.Factor)
+		}
+		for _, s := range d.SaturationRatios {
+			fmt.Fprintf(os.Stderr, "simbench: saturation ratio @ %d jobs: %.3f (%s : %s events/s)\n",
+				s.Jobs, s.Ratio, s.Saturated, s.Unsaturated)
+		}
 	}
 	where := path
 	if where == "-" {

@@ -22,6 +22,8 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"time"
 
 	"repro/internal/core"
@@ -70,9 +72,28 @@ type Config struct {
 	// (it still runs implicitly when the matrix covers BaselineScenario
 	// at BaselineJobs).
 	SkipBaseline bool
+	// ExtraCells are additional (scenario, jobs) cells measured after
+	// the scenario x scale matrix. They exist for cells too expensive to
+	// run as a full matrix tier — e.g. a single 1M-job cell — and feed
+	// the derived metrics like any matrix cell.
+	ExtraCells []Cell
+	// GOGCPercent, when non-zero, is applied via debug.SetGCPercent for
+	// the duration of the run (and restored afterwards), so memory-layout
+	// wins can be separated from GC tuning. Recorded in the report.
+	GOGCPercent int
+	// MemLimitBytes, when non-zero, is applied via debug.SetMemoryLimit
+	// for the duration of the run (and restored afterwards). Recorded in
+	// the report.
+	MemLimitBytes int64
 	// Progress, when non-nil, is invoked before each cell with a
 	// human-readable label — simbench points it at stderr.
 	Progress func(label string)
+}
+
+// Cell names one (scenario, jobs) measurement outside the matrix.
+type Cell struct {
+	Scenario string `json:"scenario"`
+	Jobs     int    `json:"jobs"`
 }
 
 // DefaultScenarios is the matrix the committed BENCH reports cover: the
@@ -104,6 +125,13 @@ func DefaultScales() []int { return []int{1000, 10000} }
 // saturated cells impractical there.
 func FullScales() []int { return append(DefaultScales(), 100000) }
 
+// XLScales adds the 1M-job tier — the scale the columnar memory layout
+// (integer task handles + slab state) unlocked; the pointer-graph
+// engine's working set made it memory-infeasible. A full scenario
+// matrix at this tier is hours of wall-clock: prefer a restricted
+// -scenarios list or Config.ExtraCells.
+func XLScales() []int { return append(FullScales(), 1000000) }
+
 // SmokeScales are the CI trace sizes: small enough for every push.
 func SmokeScales() []int { return []int{200, 1000} }
 
@@ -124,6 +152,11 @@ type Measurement struct {
 	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
 	// TraceGenNs times workload generation (excluded from NsPerOp).
 	TraceGenNs int64 `json:"trace_gen_ns"`
+	// GCCycles and GCPauseNs are the garbage-collection cycles and total
+	// stop-the-world pause accumulated during the measured replay, so
+	// memory-layout wins are separable from GC tuning.
+	GCCycles  uint32 `json:"gc_cycles"`
+	GCPauseNs int64  `json:"gc_pause_ns"`
 	// MakespanSec and MeanWPR anchor the measurement to the simulated
 	// outcome: identical code must reproduce them bit-for-bit.
 	MakespanSec float64 `json:"makespan_sec"`
@@ -146,6 +179,42 @@ type AllocBaseline struct {
 	AllocReductionPct float64 `json:"alloc_reduction_pct"`
 }
 
+// ScaleSlowdown is the per-scenario throughput ratio between two
+// adjacent matrix scales: events_per_sec at FromJobs over events_per_sec
+// at ToJobs. A factor near the trace-size ratio means per-event cost
+// grew with scale (the cache-cliff signature); a factor near 1.0 means
+// per-event cost is scale-independent.
+type ScaleSlowdown struct {
+	Scenario string  `json:"scenario"`
+	FromJobs int     `json:"from_jobs"`
+	ToJobs   int     `json:"to_jobs"`
+	Factor   float64 `json:"factor"`
+}
+
+// SaturationRatio is events_per_sec of the saturated dispatch regime
+// over the unsaturated baseline at one scale. The indexed dispatch
+// path's health check: the ratio staying flat across scales means
+// dispatch cost is still O(log queue) at 10x the queue depth.
+type SaturationRatio struct {
+	Jobs        int     `json:"jobs"`
+	Saturated   string  `json:"saturated"`
+	Unsaturated string  `json:"unsaturated"`
+	Ratio       float64 `json:"ratio"`
+}
+
+// Derived are health metrics computed from the raw cells — the
+// comparisons previously done by hand when reading a report.
+type Derived struct {
+	ScaleSlowdowns   []ScaleSlowdown   `json:"scale_slowdowns,omitempty"`
+	SaturationRatios []SaturationRatio `json:"saturation_ratios,omitempty"`
+}
+
+// The scenario pair the saturation-ratio health metric compares.
+const (
+	SaturatedScenario   = "dispatch-storm"
+	UnsaturatedScenario = "baseline-f3"
+)
+
 // Report is the schema-stable output of a matrix run.
 type Report struct {
 	SchemaVersion int    `json:"schema_version"`
@@ -157,10 +226,16 @@ type Report struct {
 	Seed          uint64 `json:"seed"`
 	Runs          int    `json:"runs"`
 	Scales        []int  `json:"scales"`
+	// GOGC and MemLimitBytes record explicit GC tuning applied for the
+	// run (absent when the runtime defaults were in effect).
+	GOGC          int   `json:"gogc,omitempty"`
+	MemLimitBytes int64 `json:"mem_limit_bytes,omitempty"`
 	// Baseline is present unless Config.SkipBaseline suppressed it and
 	// the matrix did not cover the pinned cell.
 	Baseline *AllocBaseline `json:"alloc_baseline,omitempty"`
 	Results  []Measurement  `json:"results"`
+	// Derived holds the report's health metrics (see Derived).
+	Derived *Derived `json:"derived,omitempty"`
 }
 
 // Run executes the matrix and assembles the report. Individual cell
@@ -203,10 +278,23 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		Seed:          seed,
 		Runs:          runs,
 		Scales:        scales,
-		Results:       make([]Measurement, 0, len(scs)*len(scales)),
+		Results:       make([]Measurement, 0, len(scs)*len(scales)+len(cfg.ExtraCells)),
+	}
+	if cfg.GOGCPercent != 0 {
+		rep.GOGC = cfg.GOGCPercent
+		prev := debug.SetGCPercent(cfg.GOGCPercent)
+		defer debug.SetGCPercent(prev)
+	}
+	if cfg.MemLimitBytes != 0 {
+		rep.MemLimitBytes = cfg.MemLimitBytes
+		prev := debug.SetMemoryLimit(cfg.MemLimitBytes)
+		defer debug.SetMemoryLimit(prev)
 	}
 
-	var budget *Measurement
+	// budgetIdx indexes the allocation-budget cell in rep.Results (-1 =
+	// none yet); an index stays valid across the later appends, where a
+	// pointer would dangle if an append ever reallocated the backing.
+	budgetIdx := -1
 	for _, jobs := range scales {
 		for i, sc := range scs {
 			if err := ctx.Err(); err != nil {
@@ -218,12 +306,31 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			m := measure(ctx, sc, names[i], jobs, seed, runs)
 			rep.Results = append(rep.Results, m)
 			if names[i] == BaselineScenario && jobs == BaselineJobs && seed == BaselineSeed && m.Error == "" {
-				budget = &rep.Results[len(rep.Results)-1]
+				budgetIdx = len(rep.Results) - 1
 			}
 		}
 	}
 
-	if budget == nil && !cfg.SkipBaseline {
+	for _, cell := range cfg.ExtraCells {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sc, ok := scenario.Get(cell.Scenario)
+		if !ok {
+			return nil, fmt.Errorf("benchkit: unknown scenario %q", cell.Scenario)
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(fmt.Sprintf("%s @ %d jobs (extra)", cell.Scenario, cell.Jobs))
+		}
+		rep.Results = append(rep.Results, measure(ctx, sc, cell.Scenario, cell.Jobs, seed, runs))
+	}
+
+	// Cells so far (matrix + extras) share the report seed; the
+	// fallback budget cell below runs at BaselineSeed, so the derived
+	// metrics must not compare against it.
+	sameSeed := len(rep.Results)
+
+	if budgetIdx < 0 && !cfg.SkipBaseline {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -237,10 +344,11 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		// drop the alloc_baseline section.
 		rep.Results = append(rep.Results, m)
 		if m.Error == "" {
-			budget = &rep.Results[len(rep.Results)-1]
+			budgetIdx = len(rep.Results) - 1
 		}
 	}
-	if budget != nil {
+	if budgetIdx >= 0 {
+		budget := &rep.Results[budgetIdx]
 		rep.Baseline = &AllocBaseline{
 			Scenario:          BaselineScenario,
 			Jobs:              BaselineJobs,
@@ -252,7 +360,77 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			AllocReductionPct: 100 * (1 - float64(budget.AllocsPerOp)/float64(PrePRAllocsPerOp)),
 		}
 	}
+	rep.Derived = deriveMetrics(rep.Results[:sameSeed])
 	return rep, nil
+}
+
+// deriveMetrics computes the report's health metrics from the raw
+// cells: per-scenario slowdown factors between adjacent measured scales
+// (e.g. the 100k:10k factor that exposes cache-cliff regressions) and
+// the saturated:unsaturated events/s ratio per scale (the dispatch
+// health check). Failed cells contribute nothing; only the first
+// measurement of a (scenario, jobs) pair counts. The caller passes
+// same-seed cells only — the fallback budget cell runs at BaselineSeed
+// and is excluded, so factors never compare across seeds.
+func deriveMetrics(results []Measurement) *Derived {
+	type key struct {
+		scenario string
+		jobs     int
+	}
+	cells := make(map[key]*Measurement, len(results))
+	var scenarios []string
+	jobsOf := make(map[string][]int)
+	for i := range results {
+		m := &results[i]
+		if m.Error != "" {
+			continue
+		}
+		k := key{m.Scenario, m.Jobs}
+		if _, dup := cells[k]; dup {
+			continue
+		}
+		cells[k] = m
+		if _, seen := jobsOf[m.Scenario]; !seen {
+			scenarios = append(scenarios, m.Scenario)
+		}
+		jobsOf[m.Scenario] = append(jobsOf[m.Scenario], m.Jobs)
+	}
+
+	d := &Derived{}
+	for _, sc := range scenarios {
+		jobs := jobsOf[sc]
+		sort.Ints(jobs)
+		for i := 1; i < len(jobs); i++ {
+			from, to := cells[key{sc, jobs[i-1]}], cells[key{sc, jobs[i]}]
+			if from.EventsPerSec <= 0 || to.EventsPerSec <= 0 {
+				continue
+			}
+			d.ScaleSlowdowns = append(d.ScaleSlowdowns, ScaleSlowdown{
+				Scenario: sc,
+				FromJobs: jobs[i-1],
+				ToJobs:   jobs[i],
+				Factor:   from.EventsPerSec / to.EventsPerSec,
+			})
+		}
+	}
+	allJobs := jobsOf[SaturatedScenario]
+	sort.Ints(allJobs)
+	for _, jobs := range allJobs {
+		sat, unsat := cells[key{SaturatedScenario, jobs}], cells[key{UnsaturatedScenario, jobs}]
+		if sat == nil || unsat == nil || unsat.EventsPerSec <= 0 {
+			continue
+		}
+		d.SaturationRatios = append(d.SaturationRatios, SaturationRatio{
+			Jobs:        jobs,
+			Saturated:   SaturatedScenario,
+			Unsaturated: UnsaturatedScenario,
+			Ratio:       sat.EventsPerSec / unsat.EventsPerSec,
+		})
+	}
+	if len(d.ScaleSlowdowns) == 0 && len(d.SaturationRatios) == 0 {
+		return nil
+	}
+	return d
 }
 
 // heapSampleEvery is the fired-event stride between peak-heap samples;
@@ -320,6 +498,8 @@ func measure(ctx context.Context, sc scenario.Scenario, name string, jobs int, s
 		if rep == 0 {
 			m.AllocsPerOp = after.Mallocs - before.Mallocs
 			m.BytesPerOp = after.TotalAlloc - before.TotalAlloc
+			m.GCCycles = after.NumGC - before.NumGC
+			m.GCPauseNs = int64(after.PauseTotalNs - before.PauseTotalNs)
 			m.Events = res.Events
 			m.MakespanSec = res.MakespanSec
 			m.MeanWPR = res.MeanWPR(nil)

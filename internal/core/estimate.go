@@ -17,12 +17,24 @@ import (
 // uninterrupted intervals.
 type HistoryEstimator struct {
 	groups map[int]*groupStats
+	// RetainSamples keeps every interval observation per group so
+	// MedianTBF can answer; it must be set before observing. The default
+	// keeps only running aggregates: estimator queries sit on the
+	// engine's task-submission path, and both the per-query scan over
+	// millions of samples and the samples' own footprint used to grow
+	// linearly with trace size — the O(trace²) wall the 100k-job tier
+	// ran into.
+	RetainSamples bool
 }
 
 type groupStats struct {
-	tasks     int
-	failures  int
-	intervals []float64
+	tasks    int
+	failures int
+	// intervalSum/intervalCount accumulate in observation order, so the
+	// O(1) MTBF below is bit-identical to summing the retained samples.
+	intervalSum   float64
+	intervalCount int
+	intervals     []float64 // retained only when RetainSamples
 }
 
 // NewHistoryEstimator returns an empty estimator.
@@ -46,7 +58,11 @@ func (e *HistoryEstimator) ObserveTask(group, failures int, intervals []float64)
 	g.failures += failures
 	for _, iv := range intervals {
 		if iv >= 0 {
-			g.intervals = append(g.intervals, iv)
+			g.intervalSum += iv
+			g.intervalCount++
+			if e.RetainSamples {
+				g.intervals = append(g.intervals, iv)
+			}
 		}
 	}
 }
@@ -72,21 +88,20 @@ func (e *HistoryEstimator) MNOF(group int) float64 {
 // MTBF returns the mean observed uninterrupted interval for the group,
 // or 0 if no intervals were observed. Heavy-tailed interval samples
 // (the Google Pareto tail) inflate this mean — the core failure mode of
-// Young's formula the paper demonstrates.
+// Young's formula the paper demonstrates. O(1): the sum accumulates at
+// observation time.
 func (e *HistoryEstimator) MTBF(group int) float64 {
 	g := e.groups[group]
-	if g == nil || len(g.intervals) == 0 {
+	if g == nil || g.intervalCount == 0 {
 		return 0
 	}
-	var sum float64
-	for _, iv := range g.intervals {
-		sum += iv
-	}
-	return sum / float64(len(g.intervals))
+	return g.intervalSum / float64(g.intervalCount)
 }
 
 // MedianTBF returns the median uninterrupted interval for the group —
-// a robust alternative exposed for the ablation experiments.
+// a robust alternative exposed for sensitivity experiments. It needs
+// the raw samples: on an estimator built without RetainSamples it
+// returns 0, like an unseen group.
 func (e *HistoryEstimator) MedianTBF(group int) float64 {
 	g := e.groups[group]
 	if g == nil || len(g.intervals) == 0 {

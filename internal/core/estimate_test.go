@@ -58,6 +58,7 @@ func TestHistoryEstimatorPanicsOnNegativeFailures(t *testing.T) {
 
 func TestMedianTBFRobustToTail(t *testing.T) {
 	e := NewHistoryEstimator()
+	e.RetainSamples = true
 	// Nine short intervals and one enormous outlier (the Pareto tail).
 	intervals := []float64{10, 10, 10, 10, 10, 10, 10, 10, 10, 1e6}
 	e.ObserveTask(3, 9, intervals)
@@ -66,6 +67,17 @@ func TestMedianTBFRobustToTail(t *testing.T) {
 	}
 	if med := e.MedianTBF(3); med != 10 {
 		t.Fatalf("MedianTBF = %v, want 10", med)
+	}
+
+	// Without retained samples the aggregates still answer, and the
+	// median degrades to the unseen-group value instead of lying.
+	lean := NewHistoryEstimator()
+	lean.ObserveTask(3, 9, intervals)
+	if lean.MTBF(3) != e.MTBF(3) {
+		t.Fatalf("lean MTBF %v != retained MTBF %v", lean.MTBF(3), e.MTBF(3))
+	}
+	if med := lean.MedianTBF(3); med != 0 {
+		t.Fatalf("lean MedianTBF = %v, want 0", med)
 	}
 }
 

@@ -111,3 +111,9 @@ func BenchmarkTraceGenerate10k(b *testing.B) {
 		trace.Generate(trace.DefaultGenConfig(7, 10000))
 	}
 }
+
+// BenchmarkRun100k runs the headline configuration over a 100k-job
+// trace — the tier whose per-event cost used to cliff ~9x over 10k
+// (estimator scans growing with trace size plus the pointer-graph
+// working set) and now matches the smaller tiers.
+func BenchmarkRun100k(b *testing.B) { benchRun(b, 100000) }

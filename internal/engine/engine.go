@@ -205,6 +205,21 @@ func RunWithEstimatorContext(ctx context.Context, cfg Config, tr *trace.Trace, e
 	return runWithEstimator(ctx, cfg, tr, est)
 }
 
+// The engine's working state is columnar: every task of the replayed
+// trace has a dense uint32 handle (assigned by trace.BuildTable), and
+// all hot per-task state lives in handle-indexed slabs — taskRun
+// entries in fixed-size chunks that materialize on first submission and
+// free when their last task completes, TaskResult/JobResult in arrays
+// allocated once per run and sized from the trace. The event loop,
+// dispatch queue, and simulator callbacks carry only handles; string
+// task/job IDs are never hashed, compared, or even read between
+// trace materialization and result serialization.
+const (
+	runChunkShift = 12
+	runChunkSize  = 1 << runChunkShift
+	runChunkMask  = runChunkSize - 1
+)
+
 type engineState struct {
 	cfg    Config
 	sim    *simeng.Simulator
@@ -212,17 +227,49 @@ type engineState struct {
 	local  storage.Backend
 	shared storage.Backend
 	est    *core.HistoryEstimator
-	queue  cluster.PendingQueue[*taskRun]
-	runs   map[string]*taskRun
+	tab    *trace.Table
+	queue  cluster.PendingQueue[uint32]
 	result *Result
+
+	// runChunks[h>>runChunkShift][h&runChunkMask] is task h's run state;
+	// chunkLive counts the submitted-but-unfinished runs per chunk so a
+	// drained chunk's backing is reclaimed mid-run. Drained chunks are
+	// all-zero (entries are zeroed at completion, untouched entries were
+	// never written), so freeChunks recycles them: steady-state run
+	// state costs O(max concurrent chunks) allocations, not O(trace).
+	runChunks  [][]taskRun
+	chunkLive  []int32
+	freeChunks [][]taskRun
+	// taskResults/jobResults are the contiguous result slabs; JobResult
+	// pointer slices are carved from one backing array at setup.
+	taskResults []TaskResult
+	jobResults  []JobResult
+
+	// writes is the slab of in-flight non-blocking checkpoint records,
+	// linked per task through inflightWrite.next and recycled through
+	// freeWrites.
+	writes     []inflightWrite
+	freeWrites []int32
+
 	// dispatchPending coalesces dispatch passes within one event time.
 	dispatchPending bool
 	// hostRNG drives host-crash victim selection and inter-crash times.
 	hostRNG *simeng.RNG
-	// dispatchFn and fitsFn are bound once per run so the dispatch hot
-	// path schedules and filters without allocating fresh closures.
-	dispatchFn func()
-	fitsFn     func(*taskRun) bool
+
+	// The callbacks below are bound once per run; every steady-state
+	// event in the simulator carries one of them plus a handle, so the
+	// event loop schedules without allocating closures.
+	dispatchFn  func()
+	fitsFn      func(uint32) bool
+	arriveFn    func(uint32)
+	taskFireFn  func(uint32)
+	writeFireFn func(uint32)
+}
+
+// run returns task h's slab entry; the task must be submitted and not
+// yet complete.
+func (e *engineState) run(h uint32) *taskRun {
+	return &e.runChunks[h>>runChunkShift][h&runChunkMask]
 }
 
 // armHostFailure schedules the next whole-host crash. The chain
@@ -245,17 +292,25 @@ func (e *engineState) armHostFailure() {
 func (e *engineState) crashHost(hostID int) {
 	e.cl.SetAlive(hostID, false)
 	now := e.sim.Now()
-	// Collect first: interrupt mutates e.runs placements via requeueing.
-	var victims []*taskRun
-	for _, run := range e.runs {
-		if run.placement.Active() && run.placement.HostID == hostID {
-			victims = append(victims, run)
+	// Collect first: interrupt mutates placements via requeueing. Host
+	// crashes are rare, so the scan over live run chunks is off the hot
+	// path.
+	var victims []uint32
+	for _, chunk := range e.runChunks {
+		for i := range chunk {
+			r := &chunk[i]
+			if r.placement.Active() && r.placement.HostID == hostID {
+				victims = append(victims, r.h)
+			}
 		}
 	}
-	// Deterministic order: map iteration is randomized.
-	sortRunsByTaskID(victims)
-	for _, run := range victims {
-		run.interrupt(now)
+	// Deterministic order, matching the pre-columnar engine: victims
+	// sorted by their interned task ID.
+	sort.Slice(victims, func(i, j int) bool {
+		return e.tab.TaskID(victims[i]) < e.tab.TaskID(victims[j])
+	})
+	for _, h := range victims {
+		e.interrupt(e.run(h), now)
 	}
 	e.sim.Schedule(now+e.cfg.HostRepair, func() {
 		e.cl.SetAlive(hostID, true)
@@ -263,33 +318,45 @@ func (e *engineState) crashHost(hostID int) {
 	})
 }
 
-func sortRunsByTaskID(runs []*taskRun) {
-	sort.Slice(runs, func(i, j int) bool { return runs[i].task.ID < runs[j].task.ID })
-}
-
 func runWithEstimator(ctx context.Context, cfg Config, tr *trace.Trace, est *core.HistoryEstimator) (*Result, error) {
 	rng := simeng.NewRNG(cfg.Seed)
-	// Size the per-task and per-job containers from the trace up front:
-	// the hot loop should grow nothing.
-	nTasks := 0
-	for _, job := range tr.Jobs {
-		nTasks += len(job.Tasks)
-	}
+	tab := trace.BuildTable(tr)
+	nTasks := tab.NumTasks()
+	nJobs := tab.NumJobs()
+	nChunks := (nTasks + runChunkSize - 1) / runChunkSize
 	e := &engineState{
-		cfg:    cfg,
-		sim:    simeng.NewSimulator(),
-		cl:     cluster.New(cfg.Hosts, cfg.HostMemMB),
-		est:    est,
-		runs:   make(map[string]*taskRun, nTasks),
-		result: &Result{PolicyName: cfg.Policy.Name(), Jobs: make([]*JobResult, 0, len(tr.Jobs))},
+		cfg:         cfg,
+		sim:         simeng.NewSimulator(),
+		cl:          cluster.New(cfg.Hosts, cfg.HostMemMB),
+		est:         est,
+		tab:         tab,
+		runChunks:   make([][]taskRun, nChunks),
+		chunkLive:   make([]int32, nChunks),
+		taskResults: make([]TaskResult, nTasks),
+		jobResults:  make([]JobResult, nJobs),
+		result:      &Result{PolicyName: cfg.Policy.Name(), Jobs: make([]*JobResult, nJobs)},
+	}
+	// Job results point into the slab; each job's task-pointer slice is
+	// carved from one backing array with its exact capacity, so the
+	// completion-order appends never allocate.
+	ptrBacking := make([]*TaskResult, nTasks)
+	for j := 0; j < nJobs; j++ {
+		jr := &e.jobResults[j]
+		jr.Job = tab.Job(uint32(j))
+		first, limit := tab.TasksOf(uint32(j))
+		jr.Tasks = ptrBacking[first:first:limit]
+		e.result.Jobs[j] = jr
 	}
 	e.dispatchFn = func() {
 		e.dispatchPending = false
 		e.dispatch()
 	}
-	e.fitsFn = func(r *taskRun) bool {
-		return e.cl.AcquirePreview(r.task.MemMB, r.excludeHost)
+	e.fitsFn = func(h uint32) bool {
+		return e.cl.AcquirePreview(e.tab.Mem[h], int(e.run(h).excludeHost))
 	}
+	e.arriveFn = e.jobArrive
+	e.taskFireFn = e.taskFire
+	e.writeFireFn = e.writeFire
 	// The rng.Split() sequence below is part of the deterministic
 	// contract: custom backends consume the same splits as the devices
 	// they replace, so plugging one in never shifts the other streams.
@@ -308,11 +375,11 @@ func runWithEstimator(ctx context.Context, cfg Config, tr *trace.Trace, est *cor
 		e.shared = storage.NewDMNFS(shared, cfg.Hosts)
 	}
 
-	for _, job := range tr.Jobs {
-		job := job
-		jr := &JobResult{Job: job, Tasks: make([]*TaskResult, 0, len(job.Tasks))}
-		e.result.Jobs = append(e.result.Jobs, jr)
-		e.sim.Schedule(job.ArrivalSec, func() { e.onJobArrival(job, jr) })
+	// Arrivals are scheduled lazily: one pending arrival event walks the
+	// arrival-ordered job handles (each firing schedules the next), so
+	// the event heap holds O(active) events instead of one per job.
+	if nJobs > 0 {
+		e.sim.ScheduleIndexed(tab.Arrival[0], 0, e.arriveFn, 0)
 	}
 
 	if cfg.HostMTBF > 0 {
@@ -372,21 +439,36 @@ func (e *engineState) drive(ctx context.Context) error {
 	}
 }
 
-func (e *engineState) onJobArrival(job *trace.Job, jr *JobResult) {
-	switch job.Structure {
-	case trace.BagOfTasks:
-		for _, t := range job.Tasks {
-			e.submitTask(t, jr)
-		}
-	case trace.Sequential:
-		e.submitTask(job.Tasks[0], jr)
+// jobArrive fires job j's arrival: it chains the next job's arrival
+// event and submits j's initial task set.
+func (e *engineState) jobArrive(j uint32) {
+	if next := j + 1; next < uint32(e.tab.NumJobs()) {
+		e.sim.ScheduleIndexed(e.tab.Arrival[next], 0, e.arriveFn, next)
+	}
+	first, limit := e.tab.TasksOf(j)
+	if e.tab.Sequential[j] {
+		e.submitTask(first)
+		return
+	}
+	for h := first; h < limit; h++ {
+		e.submitTask(h)
 	}
 }
 
-func (e *engineState) submitTask(t *trace.Task, jr *JobResult) {
-	run := newTaskRun(e, t, jr, e.sim.Now())
-	e.runs[t.ID] = run
-	e.queue.PushFresh(run, t.MemMB)
+func (e *engineState) submitTask(h uint32) {
+	c := h >> runChunkShift
+	if e.runChunks[c] == nil {
+		if n := len(e.freeChunks); n > 0 {
+			e.runChunks[c] = e.freeChunks[n-1]
+			e.freeChunks[n-1] = nil
+			e.freeChunks = e.freeChunks[:n-1]
+		} else {
+			e.runChunks[c] = make([]taskRun, runChunkSize)
+		}
+	}
+	e.chunkLive[c]++
+	e.initRun(&e.runChunks[c][h&runChunkMask], h, e.sim.Now())
+	e.queue.PushFresh(h, e.tab.Mem[h])
 	e.scheduleDispatch()
 }
 
@@ -414,41 +496,54 @@ func (e *engineState) dispatch() {
 		}
 		// The demand index narrows the scan to tasks that fit the best
 		// host; fitsFn re-checks the ones with a host to avoid.
-		run, ok := e.queue.PopFitting(maxFree, e.fitsFn)
+		h, ok := e.queue.PopFitting(maxFree, e.fitsFn)
 		if !ok {
 			return
 		}
-		p := e.cl.AcquireExcluding(run.task.MemMB, run.excludeHost)
+		r := e.run(h)
+		p := e.cl.AcquireExcluding(e.tab.Mem[h], int(r.excludeHost))
 		if p == nil {
 			// Lost a race within this dispatch pass; requeue and stop.
-			e.queue.PushRestart(run, run.task.MemMB)
+			e.queue.PushRestart(h, e.tab.Mem[h])
 			return
 		}
-		run.start(p, e.sim.Now()+e.cfg.ScheduleDelay)
+		e.start(r, p, e.sim.Now()+e.cfg.ScheduleDelay)
 	}
 }
 
-// onTaskDone records a completed task, frees resources, advances ST
+// onTaskDone records a completed task, frees its run slot, advances ST
 // chains, and triggers dispatch.
-func (e *engineState) onTaskDone(run *taskRun) {
-	jr := run.jobResult
-	jr.Tasks = append(jr.Tasks, run.result)
-	if run.result.DoneAt > jr.DoneAt {
-		jr.DoneAt = run.result.DoneAt
+func (e *engineState) onTaskDone(r *taskRun) {
+	h := r.h
+	j := e.tab.JobOf[h]
+	jr := &e.jobResults[j]
+	res := &e.taskResults[h]
+	jr.Tasks = append(jr.Tasks, res)
+	if res.DoneAt > jr.DoneAt {
+		jr.DoneAt = res.DoneAt
 	}
-	delete(e.runs, run.task.ID)
 
-	if jr.Job.Structure == trace.Sequential {
-		next := run.task.Index + 1
-		if next < len(jr.Job.Tasks) {
-			e.submitTask(jr.Job.Tasks[next], jr)
+	if e.tab.Sequential[j] {
+		// Handles are dense in task order, so the ST successor is h+1.
+		if next := h + 1; next < e.tab.FirstTask[j+1] {
+			e.submitTask(next)
 		}
+	}
+	// Release the run slot (dropping its process/backing references) and
+	// recycle the whole chunk once its last live run completes.
+	*r = taskRun{}
+	c := h >> runChunkShift
+	if e.chunkLive[c]--; e.chunkLive[c] == 0 {
+		e.freeChunks = append(e.freeChunks, e.runChunks[c])
+		e.runChunks[c] = nil
 	}
 	e.scheduleDispatch()
 }
 
-// newFailureProcess builds the failure process a task runs under,
-// honoring a plugged-in failure model.
+// newFailureProcess builds a standalone failure process for a task,
+// honoring a plugged-in failure model — the heap-allocating variant
+// used for oracle previews (the run's own process lives in its slab
+// entry; see start).
 func (e *engineState) newFailureProcess(t *trace.Task) failure.Process {
 	if e.cfg.FailureModel != nil {
 		return e.cfg.FailureModel(t)
@@ -519,13 +614,15 @@ func (e *engineState) oracleEstimate(t *trace.Task) core.Estimate {
 	return est
 }
 
-// chooseBackend applies the configured storage mode for one task.
-func (e *engineState) chooseBackend(t *trace.Task, est core.Estimate) storage.Backend {
+// chooseBackend applies the configured storage mode for one task,
+// additionally reporting whether the choice is the shared backend (the
+// run records the backend as one bit, not an interface).
+func (e *engineState) chooseBackend(t *trace.Task, est core.Estimate) (storage.Backend, bool) {
 	switch e.cfg.Mode {
 	case StorageLocal:
-		return e.local
+		return e.local, false
 	case StorageShared:
-		return e.shared
+		return e.shared, true
 	}
 	costs := core.StorageCosts{
 		Cl: storage.PlannedCheckpointCost(e.local, t.MemMB),
@@ -540,11 +637,11 @@ func (e *engineState) chooseBackend(t *trace.Task, est core.Estimate) storage.Ba
 	if mnof <= 0 {
 		// No failure expectation: checkpointing cost dominates; local
 		// is never worse.
-		return e.local
+		return e.local, false
 	}
 	choice, _, _ := core.CompareStorage(t.LengthSec, mnof, costs)
 	if choice == core.ChooseLocal {
-		return e.local
+		return e.local, false
 	}
-	return e.shared
+	return e.shared, true
 }

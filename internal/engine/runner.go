@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/failure"
 	"repro/internal/simeng"
 	"repro/internal/storage"
@@ -12,10 +13,10 @@ import (
 )
 
 // action names the milestone a task's single pending event will execute
-// when it fires. Dispatching on an action code through one pre-bound
-// closure per task keeps the event loop free of per-event closure
-// allocations — the simulator recycles Event structs and the task
-// recycles its callback, so steady-state stepping allocates nothing.
+// when it fires. Every task event in the simulator is the engine-wide
+// taskFire callback applied to the task's handle; the action code plus
+// the param field below carry what a bespoke closure used to capture,
+// so the event loop runs without per-task closures entirely.
 type action uint8
 
 const (
@@ -24,37 +25,66 @@ const (
 	// actStep computes the next milestone (checkpoint, change point,
 	// completion, or a failure preempting them) and schedules it.
 	actStep
-	// actFail ends a productive segment with a failure at failProgress.
+	// actFail ends a productive segment with a failure at param.
 	actFail
-	// actMilestone ends a productive segment at the planned milestone.
+	// actMilestone ends a productive segment at the planned milestone
+	// (param), classified on firing against the task's completion and
+	// change points.
 	actMilestone
 	// actCkptFail aborts an in-progress blocking checkpoint write.
 	actCkptFail
-	// actCkptDone commits a completed blocking checkpoint write.
+	// actCkptDone commits a completed blocking checkpoint write whose
+	// wall-clock cost is param.
 	actCkptDone
 	// actRequeue re-enters the pending queue after the failure-detection
 	// delay.
 	actRequeue
 )
 
-// taskRun is the per-task execution state machine. Its timeline mixes
-// productive progress with fault-tolerance overheads exactly as the
-// paper's Formula 1 decomposes wall-clock time: productive time, plus
-// C per checkpoint, plus (rollback + R) per failure, plus waiting.
+// taskRun flag bits.
+const (
+	// flagStarted: the task has received its first VM.
+	flagStarted uint8 = 1 << iota
+	// flagChangeFired: the mid-run priority change already happened.
+	flagChangeFired
+	// flagHasImage: a completed checkpoint image exists.
+	flagHasImage
+	// flagComputing: the pending event ends a productive segment that
+	// started at wall time segWall, so an external interruption can
+	// account the partial work correctly.
+	flagComputing
+	// flagShared: checkpoints go to the engine's shared backend.
+	flagShared
+)
+
+// taskRun is the per-task execution state machine, stored in the
+// engine's handle-indexed chunk slabs (one entry per task, materialized
+// at submission, zeroed at completion). Its timeline mixes productive
+// progress with fault-tolerance overheads exactly as the paper's
+// Formula 1 decomposes wall-clock time: productive time, plus C per
+// checkpoint, plus (rollback + R) per failure, plus waiting.
 //
 // Failures are exogenous: the task's failure process generates absolute
 // wall-clock offsets since the task first started, independent of what
 // the task is doing at those instants (running, checkpointing, or
 // restarting).
+//
+// The entry is deliberately compact and self-contained: trace-constant
+// fields (length, memory, change point) are read from the table
+// columns, results accumulate in the TaskResult slab, and the default
+// failure process lives in the entry itself (renewal/procRNG/pareto),
+// so running one task touches a handful of adjacent cache lines instead
+// of a scattered object graph.
 type taskRun struct {
-	eng       *engineState
-	task      *trace.Task
-	jobResult *JobResult
-	result    *TaskResult
-
-	proc    failure.Process
-	backend storage.Backend
-	est     core.Estimate
+	proc failure.Process
+	// cleanup releases an in-flight blocking checkpoint operation if the
+	// task is interrupted mid-write.
+	cleanup func()
+	// pending is the task's next scheduled simulation event; external
+	// interruptions (host crashes) cancel it before rolling the task
+	// back.
+	pending   *simeng.Event
+	placement *cluster.Placement
 
 	// planner state (the Algorithm 1 controller, generalized to any
 	// Policy; for MNOFPolicy it matches core.Adaptive step for step).
@@ -62,88 +92,77 @@ type taskRun struct {
 	plannedLen float64 // predicted productive length (= LengthSec if exact)
 	remaining  float64 // planned productive seconds left to the task end
 	w0         float64 // current checkpoint spacing (productive seconds)
-	intervals  int     // remaining interval count
 
 	progress float64 // productive seconds completed since task entry
 	saved    float64 // productive seconds preserved by the last checkpoint
 
-	started      bool
-	changeFired  bool
-	excludeHost  int // host to avoid on (re)placement, -1 = none
-	placement    *cluster.Placement
 	waitingSince float64
-	hasImage     bool
-
-	// pending is the task's next scheduled simulation event; external
-	// interruptions (host crashes) cancel it before rolling the task
-	// back. cleanup releases an in-flight storage operation if the task
-	// is interrupted mid-checkpoint.
-	pending *simeng.Event
-	cleanup func()
-	// computing marks that the pending event ends a productive segment
-	// that started at wall time segWall with progress segProgress, so an
-	// external interruption can account the partial work correctly.
-	computing   bool
-	segWall     float64
-	segProgress float64
-
-	// fireFn is the task's single reusable event callback; act plus the
-	// parameter fields below carry what a bespoke closure used to
-	// capture.
-	fireFn       func()
-	act          action
-	failProgress float64 // actFail: progress reached when the failure strikes
-	milestone    float64 // actMilestone: productive position reached
-	changeAt     float64 // actMilestone: the change point, to classify milestone
-	writeCost    float64 // actCkptDone: wall-clock cost of the completing write
-
+	segWall      float64 // wall time the current productive segment began
+	// param carries the pending action's argument: the failure-time
+	// progress (actFail), the milestone position (actMilestone), or the
+	// completing write's wall-clock cost (actCkptDone).
+	param float64
 	// nextCkpt is the productive position of the next planned
-	// checkpoint (+Inf when none). writes tracks non-blocking
-	// checkpoint writes still in flight; writePool recycles their
-	// records (and the completion closures bound to them) so the async
-	// path allocates only on its high-water mark.
-	nextCkpt  float64
-	writes    []*inflightWrite
-	writePool []*inflightWrite
+	// checkpoint (+Inf when none).
+	nextCkpt float64
+
+	h           uint32 // own handle
+	excludeHost int32  // host to avoid on (re)placement, -1 = none
+	intervals   int32  // remaining interval count
+	// writeHead/writeTail delimit the task's in-flight non-blocking
+	// checkpoint records in the engine's write slab (-1 = none).
+	writeHead, writeTail int32
+	act                  action
+	flags                uint8
+
+	// Slab-resident storage for the default failure process: proc points
+	// at renewal (a renewal process over pareto driven by procRNG), so
+	// starting a task allocates nothing beyond the renewal's
+	// recorded-times backing. Switching processes and plugged-in
+	// failure models fall back to the heap.
+	renewal failure.Renewal
+	procRNG simeng.RNG
+	pareto  dist.Pareto
 }
 
 // inflightWrite is a checkpoint image being written concurrently with
-// computation (Algorithm 1 line 7). fireFn is bound once, when the
-// record is first allocated, and survives pool recycling.
+// computation (Algorithm 1 line 7). Records live in the engine's write
+// slab, linked per task via next and recycled through the engine's
+// free list, so the async path allocates only on its high-water mark.
 type inflightWrite struct {
-	event      *simeng.Event
 	release    func()
+	event      *simeng.Event
 	progressAt float64
 	cost       float64
+	task       uint32
+	next       int32
 	done       bool
-	fireFn     func()
 }
 
-// newInflightWrite returns a recycled write record or allocates one
-// with its completion closure bound.
-func (r *taskRun) newInflightWrite() *inflightWrite {
-	if n := len(r.writePool); n > 0 {
-		w := r.writePool[n-1]
-		r.writePool[n-1] = nil
-		r.writePool = r.writePool[:n-1]
-		w.done = false
-		return w
+// allocWrite returns a recycled write-slab index or grows the slab.
+func (e *engineState) allocWrite() int32 {
+	if n := len(e.freeWrites); n > 0 {
+		idx := e.freeWrites[n-1]
+		e.freeWrites = e.freeWrites[:n-1]
+		return idx
 	}
-	w := &inflightWrite{}
-	w.fireFn = func() { r.finishAsyncWrite(w) }
-	return w
+	e.writes = append(e.writes, inflightWrite{})
+	return int32(len(e.writes) - 1)
 }
 
-// finishAsyncWrite commits a completed non-blocking checkpoint image.
-func (r *taskRun) finishAsyncWrite(w *inflightWrite) {
+// writeFire commits a completed non-blocking checkpoint image.
+func (e *engineState) writeFire(idx uint32) {
+	w := &e.writes[idx]
 	w.done = true
 	w.release()
+	r := e.run(w.task)
+	res := &e.taskResults[w.task]
 	if w.progressAt > r.saved {
 		r.saved = w.progressAt
-		r.hasImage = true
+		r.flags |= flagHasImage
 	}
-	r.result.Checkpoints++
-	r.result.HiddenCheckpointCost += w.cost
+	res.Checkpoints++
+	res.HiddenCheckpointCost += w.cost
 	r.remaining = r.plannedLen - r.saved
 	if r.remaining < 0 {
 		r.remaining = r.w0
@@ -152,77 +171,129 @@ func (r *taskRun) finishAsyncWrite(w *inflightWrite) {
 
 // cancelWrites aborts all in-flight non-blocking writes (failure or
 // host crash): their images never complete. Every record — aborted or
-// already done — returns to the pool.
-func (r *taskRun) cancelWrites() {
-	for i, w := range r.writes {
+// already done — returns to the free list, in write order, matching the
+// release order of the pre-slab engine.
+func (e *engineState) cancelWrites(r *taskRun) {
+	for idx := r.writeHead; idx >= 0; {
+		w := &e.writes[idx]
+		next := w.next
 		if !w.done {
 			w.event.Cancel()
 			w.release()
-			w.done = true
 		}
-		r.writePool = append(r.writePool, w)
-		r.writes[i] = nil
+		*w = inflightWrite{}
+		e.freeWrites = append(e.freeWrites, idx)
+		idx = next
 	}
-	r.writes = r.writes[:0]
+	r.writeHead, r.writeTail = -1, -1
 }
 
-// schedule registers the task's single next action, remembering the
+// purgeDoneWrites unlinks completed records from a task's write list,
+// returning them to the free list while preserving the order of the
+// still-pending ones.
+func (e *engineState) purgeDoneWrites(r *taskRun) {
+	prev := int32(-1)
+	for idx := r.writeHead; idx >= 0; {
+		w := &e.writes[idx]
+		next := w.next
+		if w.done {
+			if prev >= 0 {
+				e.writes[prev].next = next
+			} else {
+				r.writeHead = next
+			}
+			if r.writeTail == idx {
+				r.writeTail = prev
+			}
+			*w = inflightWrite{}
+			e.freeWrites = append(e.freeWrites, idx)
+		} else {
+			prev = idx
+		}
+		idx = next
+	}
+}
+
+// backendOf returns the checkpoint backend chosen for the task at
+// submission.
+func (e *engineState) backendOf(r *taskRun) storage.Backend {
+	if r.flags&flagShared != 0 {
+		return e.shared
+	}
+	return e.local
+}
+
+// scheduleTask registers the task's single next action, remembering the
 // event so an external interruption can cancel it.
-func (r *taskRun) schedule(at float64, act action) {
+func (e *engineState) scheduleTask(r *taskRun, at float64, act action) {
 	r.act = act
-	r.pending = r.eng.sim.Schedule(at, r.fireFn)
+	r.pending = e.sim.ScheduleIndexed(at, 0, e.taskFireFn, r.h)
 }
 
-// fire executes the task's pending action. It is the body of the one
-// closure each task schedules through.
-func (r *taskRun) fire() {
+// taskFire executes the task's pending action. It is the engine-wide
+// callback every task event dispatches through.
+func (e *engineState) taskFire(h uint32) {
+	r := e.run(h)
 	act := r.act
 	r.act = actNone
 	switch act {
 	case actStep:
-		r.step()
+		e.stepTask(r)
 	case actFail:
 		// The task computed from the segment start until the failure
 		// struck; that partial progress is lost to the rollback unless
 		// checkpointed.
-		r.computing = false
-		r.progress = r.failProgress
-		r.failAndRequeue(r.eng.sim.Now())
+		r.flags &^= flagComputing
+		r.progress = r.param
+		e.failAndRequeue(r, e.sim.Now())
 	case actMilestone:
-		r.computing = false
-		r.progress = r.milestone
+		r.flags &^= flagComputing
+		milestone := r.param
+		r.progress = milestone
+		length := e.tab.Len[h]
 		switch {
-		case r.milestone == r.task.LengthSec:
-			r.complete()
-		case r.milestone == r.changeAt:
-			r.onPriorityChange()
-		case r.eng.cfg.NonBlockingCheckpoints:
-			r.startAsyncCheckpoint()
-			r.step()
+		case milestone == length:
+			e.complete(r)
+		case milestone == e.changePoint(r):
+			e.onPriorityChange(r)
+		case e.cfg.NonBlockingCheckpoints:
+			e.startAsyncCheckpoint(r)
+			e.stepTask(r)
 		default:
-			r.beginCheckpoint()
+			e.beginCheckpoint(r)
 		}
 	case actCkptFail:
 		// Failure mid-checkpoint: the write never completes.
 		release := r.cleanup
 		r.cleanup = nil
 		release()
-		r.failAndRequeue(r.eng.sim.Now())
+		e.failAndRequeue(r, e.sim.Now())
 	case actCkptDone:
-		r.finishCheckpoint()
+		e.finishCheckpoint(r)
 	case actRequeue:
 		// The polling thread detected the interruption; the task
 		// re-enters the queue's restart lane.
-		r.eng.queue.PushRestart(r, r.task.MemMB)
-		r.eng.scheduleDispatch()
+		e.queue.PushRestart(h, e.tab.Mem[h])
+		e.scheduleDispatch()
 	}
+}
+
+// changePoint returns the productive position of the task's pending
+// priority change, +Inf when none remains. The expression matches the
+// one stepTask uses to pick the milestone, so the classification
+// compares bit-identical floats.
+func (e *engineState) changePoint(r *taskRun) float64 {
+	if e.tab.ChangePrio[r.h] != 0 && r.flags&flagChangeFired == 0 {
+		return e.tab.Len[r.h] * e.tab.ChangeFrac[r.h]
+	}
+	return math.Inf(1)
 }
 
 // interrupt preempts the task from outside its own event chain (host
 // crash): the next scheduled event is canceled, any in-flight
 // checkpoint is released, partial productive work since the segment
 // start is accounted, and the task rolls back and requeues.
-func (r *taskRun) interrupt(now float64) {
+func (e *engineState) interrupt(r *taskRun, now float64) {
 	r.pending.Cancel()
 	r.pending = nil
 	r.act = actNone
@@ -230,51 +301,55 @@ func (r *taskRun) interrupt(now float64) {
 		r.cleanup()
 		r.cleanup = nil
 	}
-	if r.computing {
-		r.progress = r.segProgress + (now - r.segWall)
-		r.computing = false
+	if r.flags&flagComputing != 0 {
+		// progress is still the segment-start value while computing.
+		r.progress += now - r.segWall
+		r.flags &^= flagComputing
 	}
-	r.failAndRequeue(now)
+	e.failAndRequeue(r, now)
 }
 
-func newTaskRun(e *engineState, t *trace.Task, jr *JobResult, now float64) *taskRun {
+// initRun initializes task h's slab entry at submission time (the
+// pre-slab engine's newTaskRun).
+func (e *engineState) initRun(r *taskRun, h uint32, now float64) {
+	t := e.tab.Task(h)
 	est := e.estimateFor(t)
-	run := &taskRun{
-		eng:          e,
-		task:         t,
-		jobResult:    jr,
-		result:       &TaskResult{Task: t, SubmitAt: now},
-		est:          est,
-		excludeHost:  -1,
-		waitingSince: now,
+	res := &e.taskResults[h]
+	res.Task = t
+	res.SubmitAt = now
+
+	r.h = h
+	r.excludeHost = -1
+	r.writeHead, r.writeTail = -1, -1
+	r.waitingSince = now
+	backend, shared := e.chooseBackend(t, est)
+	if shared {
+		r.flags |= flagShared
 	}
-	run.fireFn = run.fire
-	run.backend = e.chooseBackend(t, est)
-	run.result.UsedShared = run.backend.Kind() != storage.KindLocal
-	run.ckptCost = storage.PlannedCheckpointCost(run.backend, t.MemMB)
-	run.plannedLen = t.LengthSec
+	res.UsedShared = backend.Kind() != storage.KindLocal
+	r.ckptCost = storage.PlannedCheckpointCost(backend, t.MemMB)
+	r.plannedLen = t.LengthSec
 	if e.cfg.Predictor != nil {
-		run.plannedLen = e.cfg.Predictor.Predict(t)
-		if run.plannedLen < 1 {
-			run.plannedLen = 1
+		r.plannedLen = e.cfg.Predictor.Predict(t)
+		if r.plannedLen < 1 {
+			r.plannedLen = 1
 		}
 	}
-	run.remaining = run.plannedLen
-	run.replan(est)
-	return run
+	r.remaining = r.plannedLen
+	e.replan(r, est)
 }
 
 // replan recomputes the equidistant plan for the remaining workload from
 // the given estimate, the Algorithm 1 lines 3-4 / 10-12 step.
-func (r *taskRun) replan(est core.Estimate) {
+func (e *engineState) replan(r *taskRun, est core.Estimate) {
 	// Scale a whole-task estimate to the remaining planned workload.
 	scaled := est
 	if r.plannedLen > 0 {
 		scaled.MNOF = est.MNOF * r.remaining / r.plannedLen
 	}
-	x := r.eng.cfg.Policy.Intervals(r.remaining, r.ckptCost, scaled)
+	x := e.cfg.Policy.Intervals(r.remaining, r.ckptCost, scaled)
 	x = core.ClampIntervals(x, r.remaining, r.ckptCost)
-	r.intervals = x
+	r.intervals = int32(x)
 	if r.remaining > 0 {
 		r.w0 = r.remaining / float64(x)
 	} else {
@@ -289,58 +364,59 @@ func (r *taskRun) replan(est core.Estimate) {
 
 // start begins (or resumes) execution on a granted placement at time
 // `at` (dispatch adds the scheduling delay before work begins).
-func (r *taskRun) start(p *cluster.Placement, at float64) {
+func (e *engineState) start(r *taskRun, p *cluster.Placement, at float64) {
 	r.placement = p
-	now := r.eng.sim.Now()
-	r.result.WaitTime += now - r.waitingSince
-	if !r.started {
-		r.started = true
-		r.result.StartAt = at
-		r.proc = r.eng.newFailureProcess(r.task)
-	} else if r.hasImage {
+	now := e.sim.Now()
+	res := &e.taskResults[r.h]
+	res.WaitTime += now - r.waitingSince
+	if r.flags&flagStarted == 0 {
+		r.flags |= flagStarted
+		res.StartAt = at
+		if e.cfg.FailureModel != nil {
+			r.proc = e.cfg.FailureModel(e.tab.Task(r.h))
+		} else {
+			h := r.h
+			r.proc = trace.InitFailureProcess(int(e.tab.Prio[h]), e.tab.Len[h], e.tab.Seed[h],
+				int(e.tab.ChangePrio[h]), e.tab.ChangeFrac[h], &r.renewal, &r.procRNG, &r.pareto)
+		}
+	} else if r.flags&flagHasImage != 0 {
 		// Restore from the checkpoint image: restart cost by migration
 		// type (Table 5 via the backend that holds the image).
-		restart := r.backend.RestartCost(r.task.MemMB)
-		r.result.RestartCost += restart
+		restart := e.backendOf(r).RestartCost(e.tab.Mem[r.h])
+		res.RestartCost += restart
 		at += restart
 	}
 	// With no image yet the task relaunches from scratch (progress is
 	// already rolled back to zero); only the scheduling delay applies.
-	r.schedule(at, actStep)
-}
-
-// wallSinceStart converts the current simulation time into the task's
-// failure-process clock.
-func (r *taskRun) wallSinceStart() float64 {
-	return r.eng.sim.Now() - r.result.StartAt
+	e.scheduleTask(r, at, actStep)
 }
 
 // nextFailureAbs returns the absolute simulation time of the next
 // failure event after `now`.
-func (r *taskRun) nextFailureAbs(now float64) float64 {
-	rel := r.proc.NextAfter(now - r.result.StartAt)
+func (e *engineState) nextFailureAbs(r *taskRun, now float64) float64 {
+	startAt := e.taskResults[r.h].StartAt
+	rel := r.proc.NextAfter(now - startAt)
 	if math.IsInf(rel, 1) {
 		return math.Inf(1)
 	}
-	return r.result.StartAt + rel
+	return startAt + rel
 }
 
-// step runs the task from the current instant to its next milestone:
-// priority change, checkpoint, completion — or a failure preempting any
-// of them. Exactly one follow-up event is scheduled per invocation.
-func (r *taskRun) step() {
-	now := r.eng.sim.Now()
+// stepTask runs the task from the current instant to its next
+// milestone: priority change, checkpoint, completion — or a failure
+// preempting any of them. Exactly one follow-up event is scheduled per
+// invocation.
+func (e *engineState) stepTask(r *taskRun) {
+	now := e.sim.Now()
 
 	// Next productive milestone.
-	changeAt := math.Inf(1)
-	if r.task.Change.Active() && !r.changeFired {
-		changeAt = r.task.LengthSec * r.task.Change.AtFraction
-	}
+	length := e.tab.Len[r.h]
+	changeAt := e.changePoint(r)
 	ckptAt := r.nextCkpt
 	if r.intervals <= 1 {
 		ckptAt = math.Inf(1)
 	}
-	milestone := math.Min(r.task.LengthSec, math.Min(changeAt, ckptAt))
+	milestone := math.Min(length, math.Min(changeAt, ckptAt))
 	if milestone < r.progress {
 		// A missed milestone (e.g. change point behind current progress
 		// after a replan) fires immediately.
@@ -349,35 +425,35 @@ func (r *taskRun) step() {
 	eventAt := now + (milestone - r.progress)
 
 	// Mark the productive segment so an external interruption can
-	// account partial work done before it fired.
-	r.computing = true
+	// account partial work done before it fired (progress itself stays
+	// at the segment-start value until the segment's event fires).
+	r.flags |= flagComputing
 	r.segWall = now
-	r.segProgress = r.progress
 
-	if fail := r.nextFailureAbs(now); fail < eventAt {
-		r.failProgress = r.progress + (fail - now)
-		r.schedule(fail, actFail)
+	if fail := e.nextFailureAbs(r, now); fail < eventAt {
+		r.param = r.progress + (fail - now)
+		e.scheduleTask(r, fail, actFail)
 		return
 	}
 
-	r.milestone = milestone
-	r.changeAt = changeAt
-	r.schedule(eventAt, actMilestone)
+	r.param = milestone
+	e.scheduleTask(r, eventAt, actMilestone)
 }
 
 // failAndRequeue rolls the task back to its last checkpoint, releases
 // its VM, and requeues it for restart on another host.
-func (r *taskRun) failAndRequeue(now float64) {
+func (e *engineState) failAndRequeue(r *taskRun, now float64) {
+	res := &e.taskResults[r.h]
 	lost := r.progress - r.saved
 	if lost < 0 {
 		lost = 0
 	}
-	r.result.Failures++
-	r.result.RollbackLoss += lost
+	res.Failures++
+	res.RollbackLoss += lost
 	r.progress = r.saved
 	// In-flight non-blocking writes never complete; their images are
 	// lost with the VM.
-	r.cancelWrites()
+	e.cancelWrites(r)
 	// remaining tracks Te - saved (un-checkpointed work), which the
 	// rollback does not change, and Theorem 2 keeps the plan's spacing
 	// and positions fixed (the next position is re-derived from the
@@ -391,21 +467,21 @@ func (r *taskRun) failAndRequeue(now float64) {
 	failedHost := -1
 	if r.placement != nil {
 		failedHost = r.placement.HostID
-		r.eng.cl.Release(r.placement)
+		e.cl.Release(r.placement)
 		r.placement = nil
 	}
-	r.excludeHost = failedHost
-	if r.eng.cl.Hosts() == 1 {
+	r.excludeHost = int32(failedHost)
+	if e.cl.Hosts() == 1 {
 		// With a single host there is no "other host"; allow same-host
 		// restart rather than deadlocking the task.
 		r.excludeHost = -1
 	}
-	r.waitingSince = now + r.eng.cfg.DetectionDelay
+	r.waitingSince = now + e.cfg.DetectionDelay
 
 	// The polling thread detects the interruption after the detection
 	// delay, then the task re-enters the queue's restart lane.
-	r.schedule(now+r.eng.cfg.DetectionDelay, actRequeue)
-	r.eng.scheduleDispatch()
+	e.scheduleTask(r, now+e.cfg.DetectionDelay, actRequeue)
+	e.scheduleDispatch()
 }
 
 // onPriorityChange fires when productive progress crosses the change
@@ -413,47 +489,48 @@ func (r *taskRun) failAndRequeue(now float64) {
 // built with the switch); the dynamic algorithm additionally re-reads
 // MNOF and replans (Algorithm 1 lines 9-12), while the static variant
 // keeps its original plan — the Figure 14 comparison.
-func (r *taskRun) onPriorityChange() {
-	r.changeFired = true
-	if r.eng.cfg.Dynamic {
-		newEst := r.eng.estimateForPriority(r.task, r.task.Change.NewPriority)
-		r.est = newEst
-		r.replan(newEst)
+func (e *engineState) onPriorityChange(r *taskRun) {
+	r.flags |= flagChangeFired
+	if e.cfg.Dynamic {
+		t := e.tab.Task(r.h)
+		newEst := e.estimateForPriority(t, t.Change.NewPriority)
+		e.replan(r, newEst)
 	}
-	r.step()
+	e.stepTask(r)
 }
 
 // beginCheckpoint writes a checkpoint image; a failure arriving before
 // the write finishes destroys the in-progress image and rolls back to
 // the previous one.
-func (r *taskRun) beginCheckpoint() {
-	now := r.eng.sim.Now()
+func (e *engineState) beginCheckpoint(r *taskRun) {
+	now := e.sim.Now()
 	hostID := 0
 	if r.placement != nil {
 		hostID = r.placement.HostID
 	}
-	cost, release := r.backend.Begin(hostID, r.task.MemMB)
+	cost, release := e.backendOf(r).Begin(hostID, e.tab.Mem[r.h])
 	doneAt := now + cost
 	r.cleanup = release
 
-	if fail := r.nextFailureAbs(now); fail < doneAt {
-		r.schedule(fail, actCkptFail)
+	if fail := e.nextFailureAbs(r, now); fail < doneAt {
+		e.scheduleTask(r, fail, actCkptFail)
 		return
 	}
-	r.writeCost = cost
-	r.schedule(doneAt, actCkptDone)
+	r.param = cost
+	e.scheduleTask(r, doneAt, actCkptDone)
 }
 
-// finishCheckpoint commits a completed blocking checkpoint write and
-// advances the plan.
-func (r *taskRun) finishCheckpoint() {
+// finishCheckpoint commits a completed blocking checkpoint write (whose
+// cost rode in param) and advances the plan.
+func (e *engineState) finishCheckpoint(r *taskRun) {
 	release := r.cleanup
 	r.cleanup = nil
 	release()
+	res := &e.taskResults[r.h]
 	r.saved = r.progress
-	r.hasImage = true
-	r.result.Checkpoints++
-	r.result.CheckpointCost += r.writeCost
+	r.flags |= flagHasImage
+	res.Checkpoints++
+	res.CheckpointCost += r.param
 	r.remaining = r.plannedLen - r.saved
 	if r.remaining < 0 {
 		// An under-predicting parser: the task has outrun its plan;
@@ -462,7 +539,7 @@ func (r *taskRun) finishCheckpoint() {
 	}
 	if r.intervals > 1 {
 		r.intervals--
-	} else if r.progress < r.task.LengthSec-r.w0 {
+	} else if r.progress < e.tab.Len[r.h]-r.w0 {
 		// The plan is exhausted but real work remains (the predictor
 		// under-estimated): extend the plan by one interval at the
 		// current spacing.
@@ -473,7 +550,7 @@ func (r *taskRun) finishCheckpoint() {
 	} else {
 		r.nextCkpt = math.Inf(1)
 	}
-	r.step()
+	e.stepTask(r)
 }
 
 // startAsyncCheckpoint launches a checkpoint write in a separate thread
@@ -481,31 +558,31 @@ func (r *taskRun) finishCheckpoint() {
 // image becomes restorable only when the write completes. The plan
 // advances at write start, so the countdown to the next checkpoint is
 // not blocked by the write.
-func (r *taskRun) startAsyncCheckpoint() {
-	now := r.eng.sim.Now()
+func (e *engineState) startAsyncCheckpoint(r *taskRun) {
+	now := e.sim.Now()
 	hostID := 0
 	if r.placement != nil {
 		hostID = r.placement.HostID
 	}
-	cost, release := r.backend.Begin(hostID, r.task.MemMB)
-	w := r.newInflightWrite()
-	w.release, w.progressAt, w.cost = release, r.progress, cost
-	w.event = r.eng.sim.Schedule(now+cost, w.fireFn)
-	// Purge completed writes into the pool, then record the new one.
-	live := r.writes[:0]
-	for _, old := range r.writes {
-		if !old.done {
-			live = append(live, old)
-		} else {
-			r.writePool = append(r.writePool, old)
-		}
+	cost, release := e.backendOf(r).Begin(hostID, e.tab.Mem[r.h])
+	// Purge completed records into the free list, then append the new
+	// one at the tail of the task's write list.
+	e.purgeDoneWrites(r)
+	idx := e.allocWrite()
+	w := &e.writes[idx]
+	*w = inflightWrite{release: release, progressAt: r.progress, cost: cost, task: r.h, next: -1}
+	w.event = e.sim.ScheduleIndexed(now+cost, 0, e.writeFireFn, uint32(idx))
+	if r.writeTail >= 0 {
+		e.writes[r.writeTail].next = idx
+	} else {
+		r.writeHead = idx
 	}
-	r.writes = append(live, w)
+	r.writeTail = idx
 
 	// Advance the plan exactly as the blocking path does.
 	if r.intervals > 1 {
 		r.intervals--
-	} else if r.progress < r.task.LengthSec-r.w0 {
+	} else if r.progress < e.tab.Len[r.h]-r.w0 {
 		r.intervals = 2
 	}
 	if r.intervals > 1 {
@@ -516,14 +593,14 @@ func (r *taskRun) startAsyncCheckpoint() {
 }
 
 // complete finishes the task.
-func (r *taskRun) complete() {
-	now := r.eng.sim.Now()
-	r.result.DoneAt = now
+func (e *engineState) complete(r *taskRun) {
+	now := e.sim.Now()
+	e.taskResults[r.h].DoneAt = now
 	// In-flight async writes are moot once the task has finished.
-	r.cancelWrites()
+	e.cancelWrites(r)
 	if r.placement != nil {
-		r.eng.cl.Release(r.placement)
+		e.cl.Release(r.placement)
 		r.placement = nil
 	}
-	r.eng.onTaskDone(r)
+	e.onTaskDone(r)
 }

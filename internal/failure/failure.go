@@ -41,12 +41,29 @@ type Renewal struct {
 
 // NewRenewal returns a renewal process over d driven by rng.
 func NewRenewal(d dist.Distribution, rng *simeng.RNG) *Renewal {
+	r := &Renewal{}
+	r.Reset(d, rng)
+	return r
+}
+
+// Reset (re)initializes the receiver in place to a fresh renewal
+// process over d driven by rng, exactly as NewRenewal would construct
+// it. It exists so callers that keep Renewal values in preallocated
+// slabs (e.g. the engine's per-task columnar state) can build processes
+// without a heap allocation per task; the recorded-times backing array
+// is reused when present.
+func (r *Renewal) Reset(d dist.Distribution, rng *simeng.RNG) {
 	if d == nil || rng == nil {
-		panic("failure: NewRenewal requires a distribution and an RNG")
+		panic("failure: Renewal requires a distribution and an RNG")
 	}
-	// Every consumer draws at least a few times; seeding the capacity
-	// skips the first rounds of append growth.
-	return &Renewal{dist: d, rng: rng, maxGen: 1 << 20, times: make([]float64, 0, 8)}
+	if r.times == nil {
+		// Every consumer draws at least a few times; seeding the
+		// capacity skips the first rounds of append growth.
+		r.times = make([]float64, 0, 8)
+	} else {
+		r.times = r.times[:0]
+	}
+	r.dist, r.rng, r.cursor, r.maxGen = d, rng, 0, 1<<20
 }
 
 // NextAfter implements Process.

@@ -16,20 +16,34 @@ type Time = float64
 // holder can tell the event already fired (as the engine's in-flight
 // write records do); Cancel must only be called on events that have not
 // fired yet.
+//
+// The struct is packed for the hot path: the simulator allocates events
+// in contiguous blocks (see Simulator.alloc), and a callback is either
+// a plain closure (Schedule) or an indexed callback — a shared function
+// plus a uint32 argument (ScheduleIndexed) — so steady-state consumers
+// like the engine never allocate a closure per scheduled entity.
 type Event struct {
-	// At is the simulated time at which the event fires.
-	At Time
-	// Priority breaks ties between events scheduled at the same time;
-	// lower values fire first. Events with equal (At, Priority) fire in
-	// scheduling order (FIFO), which keeps runs deterministic.
-	Priority int
-	// Fn is the callback; it may schedule further events.
-	Fn func()
-
-	seq      uint64
-	index    int
+	// at is the simulated time at which the event fires.
+	at Time
+	// seq breaks ties among events with equal (at, priority): events
+	// fire in scheduling order (FIFO), which keeps runs deterministic.
+	seq uint64
+	// fn is the plain callback (Schedule); nil when fnIdx is used.
+	fn func()
+	// fnIdx is the indexed callback (ScheduleIndexed): a long-lived
+	// function shared by many events, applied to arg when the event
+	// fires. It lets per-entity schedulers avoid per-event closures.
+	fnIdx func(uint32)
+	arg   uint32
+	// priority breaks ties between events scheduled at the same time;
+	// lower values fire first.
+	priority int32
+	index    int32
 	canceled bool
 }
+
+// At returns the simulated time at which the event fires.
+func (e *Event) At() Time { return e.at }
 
 // Cancel prevents a scheduled event from firing. Canceling an event that
 // was already canceled is a no-op; canceling an event that already fired
@@ -44,31 +58,31 @@ func (e *Event) Cancel() {
 // Canceled reports whether the event was canceled.
 func (e *Event) Canceled() bool { return e != nil && e.canceled }
 
-// eventHeap is a binary min-heap ordered by (At, Priority, seq). It is
+// eventHeap is a binary min-heap ordered by (at, priority, seq). It is
 // hand-rolled rather than built on container/heap so the hot push/pop
 // paths stay free of interface conversions and indirect calls.
 type eventHeap []*Event
 
 func (h eventHeap) less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
 	}
-	if h[i].Priority != h[j].Priority {
-		return h[i].Priority < h[j].Priority
+	if h[i].priority != h[j].priority {
+		return h[i].priority < h[j].priority
 	}
 	return h[i].seq < h[j].seq
 }
 
 func (h eventHeap) swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+	h[i].index = int32(i)
+	h[j].index = int32(j)
 }
 
 func (h *eventHeap) push(e *Event) {
-	e.index = len(*h)
+	e.index = int32(len(*h))
 	*h = append(*h, e)
-	h.up(e.index)
+	h.up(int(e.index))
 }
 
 func (h *eventHeap) pop() *Event {
@@ -115,6 +129,12 @@ func (h eventHeap) down(i int) {
 	}
 }
 
+// eventBlock is the number of Events carved per slab when the free list
+// runs dry: block allocation keeps pooled events contiguous in memory,
+// so the heap's pointer-chasing lands in far fewer cache lines than
+// one-at-a-time allocation would.
+const eventBlock = 64
+
 // Simulator is a discrete-event simulation kernel. It is single-threaded:
 // event callbacks run sequentially in timestamp order on the goroutine
 // that calls Run or Step.
@@ -144,6 +164,22 @@ func (s *Simulator) Fired() uint64 { return s.fired }
 // (including canceled events not yet discarded).
 func (s *Simulator) Pending() int { return len(s.queue) }
 
+// alloc returns a pooled event, slab-allocating a fresh block when the
+// pool is empty.
+func (s *Simulator) alloc() *Event {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return e
+	}
+	blk := make([]Event, eventBlock)
+	for i := 1; i < eventBlock; i++ {
+		s.free = append(s.free, &blk[i])
+	}
+	return &blk[0]
+}
+
 // Schedule registers fn to run at absolute simulated time at.
 // Scheduling in the past (before Now) panics: it indicates a model bug.
 func (s *Simulator) Schedule(at Time, fn func()) *Event {
@@ -152,21 +188,31 @@ func (s *Simulator) Schedule(at Time, fn func()) *Event {
 
 // SchedulePriority is Schedule with an explicit tie-breaking priority.
 func (s *Simulator) SchedulePriority(at Time, priority int, fn func()) *Event {
+	e := s.schedule(at, priority)
+	e.fn = fn
+	return e
+}
+
+// ScheduleIndexed registers fn(arg) to run at absolute simulated time
+// at. The function is meant to be long-lived and shared across many
+// events (e.g. one per-engine dispatcher applied to dense entity
+// handles), so schedulers of per-entity work need no per-event closure.
+func (s *Simulator) ScheduleIndexed(at Time, priority int, fn func(uint32), arg uint32) *Event {
+	e := s.schedule(at, priority)
+	e.fnIdx = fn
+	e.arg = arg
+	return e
+}
+
+func (s *Simulator) schedule(at Time, priority int) *Event {
 	if math.IsNaN(at) {
 		panic("simeng: schedule at NaN time")
 	}
 	if at < s.now {
 		panic(fmt.Sprintf("simeng: schedule at %.9g before now %.9g", at, s.now))
 	}
-	var e *Event
-	if n := len(s.free); n > 0 {
-		e = s.free[n-1]
-		s.free[n-1] = nil
-		s.free = s.free[:n-1]
-		e.At, e.Priority, e.Fn, e.canceled = at, priority, fn, false
-	} else {
-		e = &Event{At: at, Priority: priority, Fn: fn}
-	}
+	e := s.alloc()
+	e.at, e.priority, e.canceled = at, int32(priority), false
 	e.seq = s.seq
 	s.seq++
 	s.queue.push(e)
@@ -175,7 +221,8 @@ func (s *Simulator) SchedulePriority(at Time, priority int, fn func()) *Event {
 
 // recycle returns a popped event to the pool for reuse by Schedule.
 func (s *Simulator) recycle(e *Event) {
-	e.Fn = nil
+	e.fn = nil
+	e.fnIdx = nil
 	s.free = append(s.free, e)
 }
 
@@ -196,15 +243,19 @@ func (s *Simulator) Step() bool {
 			s.recycle(e)
 			continue
 		}
-		s.now = e.At
+		s.now = e.at
 		s.fired++
-		fn := e.Fn
+		fn, fnIdx, arg := e.fn, e.fnIdx, e.arg
 		// Recycle before the callback: fn may schedule follow-up work
 		// into the freed slot, so steady-state loops reuse one Event.
 		// Holders of e must refresh their pointer before the next event
 		// fires (see Event).
 		s.recycle(e)
-		fn()
+		if fnIdx != nil {
+			fnIdx(arg)
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false
@@ -237,7 +288,7 @@ func (s *Simulator) stepUntil(deadline Time) bool {
 			s.recycle(s.queue.pop())
 			continue
 		}
-		if head.At > deadline {
+		if head.at > deadline {
 			return false
 		}
 		return s.Step()

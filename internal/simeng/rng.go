@@ -35,6 +35,15 @@ func splitMix64(state *uint64) uint64 {
 // NewRNG returns a generator seeded from the given 64-bit seed.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed (re)initializes the receiver in place from a 64-bit seed,
+// producing exactly the state NewRNG(seed) would. It exists so callers
+// that keep RNG values in preallocated slabs (e.g. the engine's
+// per-task columnar state) can seed them without a heap allocation.
+func (r *RNG) Seed(seed uint64) {
 	st := seed
 	for i := range r.s {
 		r.s[i] = splitMix64(&st)
@@ -43,7 +52,6 @@ func NewRNG(seed uint64) *RNG {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return r
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
@@ -64,15 +72,17 @@ func (r *RNG) Uint64() uint64 {
 // Split returns a new RNG whose stream is statistically independent of
 // the receiver's. The receiver advances by one draw.
 func (r *RNG) Split() *RNG {
-	st := r.Uint64()
 	child := &RNG{}
-	for i := range child.s {
-		child.s[i] = splitMix64(&st)
-	}
-	if child.s[0]|child.s[1]|child.s[2]|child.s[3] == 0 {
-		child.s[0] = 0x9e3779b97f4a7c15
-	}
+	r.SplitInto(child)
 	return child
+}
+
+// SplitInto is Split writing the child stream into caller-provided
+// storage: child receives exactly the state Split would have returned,
+// and the receiver advances by the same one draw. It is the
+// allocation-free variant for slab-resident RNGs.
+func (r *RNG) SplitInto(child *RNG) {
+	child.Seed(r.Uint64())
 }
 
 // Float64 returns a uniform value in [0, 1).

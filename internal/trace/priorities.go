@@ -83,6 +83,13 @@ func lengthFactor(lengthSec float64) float64 {
 // IntervalDistForTask returns the failure-interval distribution of a
 // task with the given priority and productive length.
 func IntervalDistForTask(priority int, lengthSec float64) dist.Distribution {
+	return IntervalParetoForTask(priority, lengthSec)
+}
+
+// IntervalParetoForTask is IntervalDistForTask returning the concrete
+// Pareto value, so slab-resident callers can store it unboxed and hand
+// the interface a pointer into their own storage.
+func IntervalParetoForTask(priority int, lengthSec float64) dist.Pareto {
 	if priority < 1 || priority > 12 {
 		panic("trace: priority outside 1..12")
 	}
@@ -105,6 +112,30 @@ func NewFailureProcess(t *Task) failure.Process {
 	after := failure.NewRenewal(IntervalDistForTask(t.Change.NewPriority, t.LengthSec), rng.Split())
 	switchAt := t.LengthSec * t.Change.AtFraction
 	return failure.NewSwitching(before, after, switchAt)
+}
+
+// InitFailureProcess is NewFailureProcess building the common-case
+// process into caller-provided slab storage, taking the task's fields
+// as scalars so columnar callers (the engine's handle table) never
+// touch the interned *Task: ren becomes the (initial) renewal process,
+// driven by rng over the Pareto stored at par, and the draw sequence
+// matches NewFailureProcess bit for bit. changePrio is 0 for tasks
+// with no mid-run priority change; then the returned Process is ren
+// itself and the call performs no heap allocation beyond ren's
+// recorded-times backing. Switching tasks fall back to heap-allocating
+// the post-switch process.
+func InitFailureProcess(priority int, lengthSec float64, seed uint64, changePrio int, changeFrac float64,
+	ren *failure.Renewal, rng *simeng.RNG, par *dist.Pareto) failure.Process {
+	var root simeng.RNG
+	root.Seed(seed)
+	root.SplitInto(rng)
+	*par = IntervalParetoForTask(priority, lengthSec)
+	ren.Reset(par, rng)
+	if changePrio == 0 {
+		return ren
+	}
+	after := failure.NewRenewal(IntervalDistForTask(changePrio, lengthSec), root.Split())
+	return failure.NewSwitching(ren, after, lengthSec*changeFrac)
 }
 
 // PriorityOrder lists the priorities in the order the paper's figures

@@ -23,6 +23,12 @@ type (
 	// BenchAllocBaseline compares the allocation budget against the
 	// recorded pre-overhaul engine.
 	BenchAllocBaseline = benchkit.AllocBaseline
+	// BenchCell names one off-matrix (scenario, jobs) measurement
+	// (BenchConfig.ExtraCells).
+	BenchCell = benchkit.Cell
+	// BenchDerived holds a report's derived health metrics: per-scenario
+	// scale-slowdown factors and saturated:unsaturated throughput ratios.
+	BenchDerived = benchkit.Derived
 )
 
 // BenchSchemaVersion identifies the BENCH report layout.
@@ -43,6 +49,11 @@ func BenchDefaultScales() []int { return benchkit.DefaultScales() }
 
 // BenchFullScales returns the default scales plus the 100k-job tier.
 func BenchFullScales() []int { return benchkit.FullScales() }
+
+// BenchXLScales returns the full scales plus the 1M-job tier unlocked
+// by the columnar memory layout. A full scenario matrix at this tier is
+// hours of wall-clock: prefer a restricted scenario list or ExtraCells.
+func BenchXLScales() []int { return benchkit.XLScales() }
 
 // BenchSmokeScales returns the CI smoke-test trace sizes.
 func BenchSmokeScales() []int { return benchkit.SmokeScales() }
