@@ -161,7 +161,16 @@ type Measurement struct {
 	// outcome: identical code must reproduce them bit-for-bit.
 	MakespanSec float64 `json:"makespan_sec"`
 	MeanWPR     float64 `json:"mean_wpr"`
-	Error       string  `json:"error,omitempty"`
+	// Event-core calendar-queue health (additive since the PR-6 queue):
+	// peak live queue depth, final bucket count/width, the largest
+	// single-bucket batch sorted, and structural-maintenance counts.
+	QueuePeakPending int     `json:"queue_peak_pending"`
+	QueueBuckets     int     `json:"queue_buckets"`
+	QueueWidthSec    float64 `json:"queue_width_sec"`
+	QueuePeakBucket  int     `json:"queue_peak_bucket"`
+	QueueRebuilds    uint64  `json:"queue_rebuilds"`
+	QueueCompactions uint64  `json:"queue_compactions"`
+	Error            string  `json:"error,omitempty"`
 }
 
 // AllocBaseline records the allocation-budget comparison at the pinned
@@ -503,6 +512,12 @@ func measure(ctx context.Context, sc scenario.Scenario, name string, jobs int, s
 			m.Events = res.Events
 			m.MakespanSec = res.MakespanSec
 			m.MeanWPR = res.MeanWPR(nil)
+			m.QueuePeakPending = res.Queue.PeakPending
+			m.QueueBuckets = res.Queue.Buckets
+			m.QueueWidthSec = res.Queue.Width
+			m.QueuePeakBucket = res.Queue.PeakBucket
+			m.QueueRebuilds = res.Queue.Rebuilds
+			m.QueueCompactions = res.Queue.Compactions
 		}
 	}
 	if m.NsPerOp > 0 {

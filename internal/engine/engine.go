@@ -278,6 +278,9 @@ func (e *engineState) run(h uint32) *taskRun {
 func (e *engineState) armHostFailure() {
 	gap := e.hostRNG.ExpFloat64() * e.cfg.HostMTBF
 	e.sim.Schedule(e.sim.Now()+gap, func() {
+		// Pending counts live events only (canceled tombstones are
+		// excluded), so a queue holding nothing but canceled entries
+		// correctly reads as a finished workload here.
 		if e.sim.Pending() == 0 {
 			return // all workload finished; let the simulation drain
 		}
@@ -409,6 +412,7 @@ func runWithEstimator(ctx context.Context, cfg Config, tr *trace.Trace, est *cor
 		}
 	}
 	e.result.Events = e.sim.Fired()
+	e.result.Queue = e.sim.Stats()
 	return e.result, nil
 }
 

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 
+	"repro/internal/simeng"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -103,6 +104,10 @@ type Result struct {
 	MakespanSec float64
 	// Events is the number of simulation events executed.
 	Events uint64
+	// Queue reports the event core's internal statistics for the run:
+	// peak live queue depth, bucket geometry, worst single-bucket batch,
+	// and structural-maintenance counts (see simeng.QueueStats).
+	Queue simeng.QueueStats
 }
 
 // JobWPRs returns the per-job WPR values, optionally filtered.

@@ -395,7 +395,15 @@ func (e *engineState) start(r *taskRun, p *cluster.Placement, at float64) {
 // failure event after `now`.
 func (e *engineState) nextFailureAbs(r *taskRun, now float64) float64 {
 	startAt := e.taskResults[r.h].StartAt
-	rel := r.proc.NextAfter(now - startAt)
+	var rel float64
+	// Most tasks keep their priority, so proc is the slab-resident
+	// renewal process; calling it through the concrete type skips the
+	// interface dispatch on the hot path.
+	if r.proc == &r.renewal {
+		rel = r.renewal.NextAfter(now - startAt)
+	} else {
+		rel = r.proc.NextAfter(now - startAt)
+	}
 	if math.IsInf(rel, 1) {
 		return math.Inf(1)
 	}
@@ -416,7 +424,16 @@ func (e *engineState) stepTask(r *taskRun) {
 	if r.intervals <= 1 {
 		ckptAt = math.Inf(1)
 	}
-	milestone := math.Min(length, math.Min(changeAt, ckptAt))
+	// Manual min instead of math.Min: these are positive or +Inf (never
+	// NaN or -0), so plain compares give the same result without the
+	// special-case branches on the hot path.
+	milestone := length
+	if changeAt < milestone {
+		milestone = changeAt
+	}
+	if ckptAt < milestone {
+		milestone = ckptAt
+	}
 	if milestone < r.progress {
 		// A missed milestone (e.g. change point behind current progress
 		// after a replan) fires immediately.

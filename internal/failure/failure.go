@@ -37,6 +37,11 @@ type Renewal struct {
 	times  []float64
 	cursor float64
 	maxGen int
+	// hint caches the index NextAfter last returned from. Queries are
+	// near-monotone in practice (a task's wall-clock only moves forward),
+	// so the next answer is almost always at or just past the hint,
+	// turning the per-call binary search into one or two comparisons.
+	hint int
 }
 
 // NewRenewal returns a renewal process over d driven by rng.
@@ -64,6 +69,7 @@ func (r *Renewal) Reset(d dist.Distribution, rng *simeng.RNG) {
 		r.times = r.times[:0]
 	}
 	r.dist, r.rng, r.cursor, r.maxGen = d, rng, 0, 1<<20
+	r.hint = 0
 }
 
 // NextAfter implements Process.
@@ -83,18 +89,30 @@ func (r *Renewal) NextAfter(t float64) float64 {
 		r.cursor += iv
 		r.times = append(r.times, r.cursor)
 	}
-	// cursor is now the first generated time > t; but earlier generated
-	// times may also exceed t when NextAfter is called with decreasing t.
-	// Binary search the recorded times for correctness in that case.
-	lo, hi := 0, len(r.times)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if r.times[mid] <= t {
-			lo = mid + 1
-		} else {
-			hi = mid
+	// The answer is the first recorded time > t. Start from the cached
+	// hint: forward queries (the common case) advance it by at most a
+	// step or two; a backward query falls back to a full binary search.
+	lo := r.hint
+	if lo > len(r.times) {
+		lo = len(r.times)
+	}
+	if lo > 0 && r.times[lo-1] > t {
+		lo = 0
+		hi := len(r.times)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if r.times[mid] <= t {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+	} else {
+		for lo < len(r.times) && r.times[lo] <= t {
+			lo++
 		}
 	}
+	r.hint = lo
 	if lo < len(r.times) {
 		return r.times[lo]
 	}

@@ -34,11 +34,13 @@ type Event struct {
 	// function shared by many events, applied to arg when the event
 	// fires. It lets per-entity schedulers avoid per-event closures.
 	fnIdx func(uint32)
+	// owner is the simulator whose queue holds the event; Cancel uses it
+	// to keep the live-event count and compaction threshold current.
+	owner *Simulator
 	arg   uint32
 	// priority breaks ties between events scheduled at the same time;
 	// lower values fire first.
 	priority int32
-	index    int32
 	canceled bool
 }
 
@@ -50,103 +52,67 @@ func (e *Event) At() Time { return e.at }
 // is undefined (the simulator may have recycled it for another
 // callback).
 func (e *Event) Cancel() {
-	if e != nil {
-		e.canceled = true
+	if e == nil || e.canceled {
+		return
+	}
+	e.canceled = true
+	if s := e.owner; s != nil {
+		s.canceled++
+		s.maybeCompact()
 	}
 }
 
 // Canceled reports whether the event was canceled.
 func (e *Event) Canceled() bool { return e != nil && e.canceled }
 
-// eventHeap is a binary min-heap ordered by (at, priority, seq). It is
-// hand-rolled rather than built on container/heap so the hot push/pop
-// paths stay free of interface conversions and indirect calls.
-type eventHeap []*Event
-
-func (h eventHeap) less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	if h[i].priority != h[j].priority {
-		return h[i].priority < h[j].priority
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = int32(i)
-	h[j].index = int32(j)
-}
-
-func (h *eventHeap) push(e *Event) {
-	e.index = int32(len(*h))
-	*h = append(*h, e)
-	h.up(int(e.index))
-}
-
-func (h *eventHeap) pop() *Event {
-	old := *h
-	n := len(old) - 1
-	old.swap(0, n)
-	e := old[n]
-	old[n] = nil
-	e.index = -1
-	*h = old[:n]
-	if n > 0 {
-		h.down(0)
-	}
-	return e
-}
-
-func (h eventHeap) up(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !h.less(i, parent) {
-			return
-		}
-		h.swap(i, parent)
-		i = parent
-	}
-}
-
-func (h eventHeap) down(i int) {
-	n := len(h)
-	for {
-		left := 2*i + 1
-		if left >= n {
-			return
-		}
-		child := left
-		if right := left + 1; right < n && h.less(right, left) {
-			child = right
-		}
-		if !h.less(child, i) {
-			return
-		}
-		h.swap(i, child)
-		i = child
-	}
-}
-
 // eventBlock is the number of Events carved per slab when the free list
 // runs dry: block allocation keeps pooled events contiguous in memory,
-// so the heap's pointer-chasing lands in far fewer cache lines than
+// so the queue's event dereferences land in far fewer cache lines than
 // one-at-a-time allocation would.
 const eventBlock = 64
 
 // Simulator is a discrete-event simulation kernel. It is single-threaded:
 // event callbacks run sequentially in timestamp order on the goroutine
 // that calls Run or Step.
+//
+// Pending events live in a calendar queue (see calqueue.go): an array
+// of time buckets sorted on demand, with a spill heap for events landing
+// behind the drain cursor and an overflow rung for events beyond the
+// bucket window. Events fire in strict (at, priority, seq) order —
+// identical to the binary heap this replaced (naive.go keeps that heap
+// as the differential-test oracle).
 type Simulator struct {
 	now   Time
-	queue eventHeap
 	seq   uint64
 	fired uint64
 	// free is the recycled-event pool: events that fired or were
 	// discarded as canceled return here and the next Schedule reuses
 	// them, keeping the steady-state event loop allocation-free.
 	free []*Event
+
+	// Calendar queue (calqueue.go). count includes canceled events not
+	// yet discarded; canceled tracks how many of those there are.
+	buckets  [][]qent
+	nb       int
+	width    float64
+	invWidth float64
+	base     Time
+	horizon  Time
+	cursor   int
+	// cur aliases buckets[cursor] once that bucket has been sorted for
+	// draining; curIdx is the drain position within it. nil between
+	// buckets.
+	cur      []qent
+	curIdx   int
+	spill    []qent
+	overflow []qent
+	scratch  []qent
+	count    int
+	canceled int
+	// gapSum/gapCnt sample inter-event gaps to retune the bucket width.
+	gapSum float64
+	gapCnt int
+	stats  QueueStats
 }
 
 // NewSimulator returns a simulator with the clock at zero.
@@ -160,9 +126,16 @@ func (s *Simulator) Now() Time { return s.now }
 // Fired returns the number of events executed so far.
 func (s *Simulator) Fired() uint64 { return s.fired }
 
-// Pending returns the number of events scheduled but not yet fired
-// (including canceled events not yet discarded).
-func (s *Simulator) Pending() int { return len(s.queue) }
+// Pending returns the number of live events: scheduled, not yet fired,
+// and not canceled. Canceled events awaiting discard or compaction are
+// excluded — a queue holding only tombstones reports zero, matching
+// what Run would do with it (fire nothing).
+func (s *Simulator) Pending() int {
+	if n := s.count - s.canceled; n > 0 {
+		return n
+	}
+	return 0
+}
 
 // alloc returns a pooled event, slab-allocating a fresh block when the
 // pool is empty.
@@ -174,6 +147,9 @@ func (s *Simulator) alloc() *Event {
 		return e
 	}
 	blk := make([]Event, eventBlock)
+	for i := range blk {
+		blk[i].owner = s
+	}
 	for i := 1; i < eventBlock; i++ {
 		s.free = append(s.free, &blk[i])
 	}
@@ -215,7 +191,7 @@ func (s *Simulator) schedule(at Time, priority int) *Event {
 	e.at, e.priority, e.canceled = at, int32(priority), false
 	e.seq = s.seq
 	s.seq++
-	s.queue.push(e)
+	s.enqueue(e)
 	return e
 }
 
@@ -234,17 +210,37 @@ func (s *Simulator) After(delay Time, fn func()) *Event {
 	return s.Schedule(s.now+delay, fn)
 }
 
-// Step executes the next non-canceled event and returns true, or returns
-// false if the queue is empty.
-func (s *Simulator) Step() bool {
-	for len(s.queue) > 0 {
-		e := s.queue.pop()
-		if e.canceled {
-			s.recycle(e)
-			continue
+// runCore is the shared event loop behind Step/Run/RunUntil/RunLimit:
+// it fires live events due at or before deadline, at most limit of
+// them, and returns how many fired.
+//
+// Events at the same timestamp are dispatched as a batch: the loop
+// advances the clock (and samples the inter-event gap for bucket-width
+// tuning) once per distinct timestamp, then drains the rest of the
+// equal-`at` run through popAt — a single comparison against the drain
+// position per event, skipping the deadline re-check (the batch sits at
+// one instant, already proven <= deadline) and the bucket-advance
+// machinery. Callbacks may keep extending the batch: a same-time event
+// scheduled mid-batch lands in the spill heap and is picked up in
+// (priority, seq) position, exactly where the heap would have fired it.
+// The fired-count limit still applies per event, so RunLimit cuts a
+// batch mid-run precisely like the old one-pop-per-Step loop did.
+func (s *Simulator) runCore(deadline Time, limit uint64) uint64 {
+	var done uint64
+	for done < limit {
+		e := s.peekLive()
+		if e == nil || e.at > deadline {
+			break
 		}
-		s.now = e.at
+		at := e.at
+		if at > s.now {
+			s.gapSum += at - s.now
+			s.gapCnt++
+		}
+		s.removeHead()
+		s.now = at
 		s.fired++
+		done++
 		fn, fnIdx, arg := e.fn, e.fnIdx, e.arg
 		// Recycle before the callback: fn may schedule follow-up work
 		// into the freed slot, so steady-state loops reuse one Event.
@@ -256,54 +252,49 @@ func (s *Simulator) Step() bool {
 		} else {
 			fn()
 		}
-		return true
+		for done < limit {
+			e = s.popAt(at)
+			if e == nil {
+				break
+			}
+			s.fired++
+			done++
+			fn, fnIdx, arg = e.fn, e.fnIdx, e.arg
+			s.recycle(e)
+			if fnIdx != nil {
+				fnIdx(arg)
+			} else {
+				fn()
+			}
+		}
 	}
-	return false
+	return done
+}
+
+// Step executes the next non-canceled event and returns true, or returns
+// false if the queue is empty.
+func (s *Simulator) Step() bool {
+	return s.runCore(math.Inf(1), 1) == 1
 }
 
 // Run executes events until the queue is empty.
 func (s *Simulator) Run() {
-	for s.Step() {
-	}
+	s.runCore(math.Inf(1), math.MaxUint64)
 }
 
 // RunUntil executes events with timestamps <= deadline, then advances the
 // clock to the deadline (if the deadline is later than the last event).
 func (s *Simulator) RunUntil(deadline Time) {
-	for s.stepUntil(deadline) {
-	}
+	s.runCore(deadline, math.MaxUint64)
 	if deadline > s.now {
 		s.now = deadline
 	}
 }
 
-// stepUntil executes the next live event if it is due at or before
-// deadline. Canceled events are discarded during the peek, so a
-// canceled head can never trick the caller into stepping past the
-// deadline.
-func (s *Simulator) stepUntil(deadline Time) bool {
-	for len(s.queue) > 0 {
-		head := s.queue[0]
-		if head.canceled {
-			s.recycle(s.queue.pop())
-			continue
-		}
-		if head.at > deadline {
-			return false
-		}
-		return s.Step()
-	}
-	return false
-}
-
 // RunLimit executes at most n events; it returns the number executed.
 // It is a safety valve for tests guarding against runaway models.
 func (s *Simulator) RunLimit(n uint64) uint64 {
-	var done uint64
-	for done < n && s.Step() {
-		done++
-	}
-	return done
+	return s.runCore(math.Inf(1), n)
 }
 
 // RunUntilLimit executes at most n events with timestamps <= deadline
@@ -312,10 +303,7 @@ func (s *Simulator) RunLimit(n uint64) uint64 {
 // RunUntil). Callers loop until it returns 0, interleaving their own
 // work — cancellation checks, progress reporting — between chunks.
 func (s *Simulator) RunUntilLimit(deadline Time, n uint64) uint64 {
-	var done uint64
-	for done < n && s.stepUntil(deadline) {
-		done++
-	}
+	done := s.runCore(deadline, n)
 	if done < n && deadline > s.now {
 		s.now = deadline
 	}
@@ -326,9 +314,5 @@ func (s *Simulator) RunUntilLimit(deadline Time, n uint64) uint64 {
 // events are dropped too, so a reset simulator holds no references to
 // prior callbacks.
 func (s *Simulator) Reset() {
-	s.queue = nil
-	s.free = nil
-	s.now = 0
-	s.seq = 0
-	s.fired = 0
+	*s = Simulator{}
 }

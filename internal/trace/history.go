@@ -4,7 +4,9 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/failure"
+	"repro/internal/simeng"
 )
 
 // DefaultLengthLimits are the task-length limits of Table 7: 1000 s,
@@ -52,12 +54,48 @@ func BuildEstimator(tr *Trace, limits []float64) *core.HistoryEstimator {
 		limits = DefaultLengthLimits
 	}
 	est := core.NewHistoryEstimator()
+	// One walk per task collects both statistics, and stops as soon as
+	// the count horizon is passed and the interval quota is full — the
+	// estimator keeps at most maxIntervalsPerTask samples, so replaying
+	// the full observation window (25x the task length) would discard
+	// almost every draw it generates. The buffer is reused across tasks;
+	// ObserveTask copies what it keeps.
+	intervals := make([]float64, 0, maxIntervalsPerTask)
+	// Slab-resident process state, reinitialized per task: the common
+	// no-priority-change task then replays without allocating (the
+	// recorded-times backing is reused), exactly as the engine's runner
+	// slabs do. InitFailureProcess's draw sequence matches
+	// NewFailureProcess bit for bit.
+	var (
+		ren failure.Renewal
+		rng simeng.RNG
+		par dist.Pareto
+	)
 	for _, task := range tr.Tasks() {
-		proc := NewFailureProcess(task)
-		nFailures := len(failure.IntervalsIn(proc, task.LengthSec))
-		intervals := failure.IntervalsIn(proc, observationWindow(task.LengthSec))
-		if len(intervals) > maxIntervalsPerTask {
-			intervals = intervals[:maxIntervalsPerTask]
+		changePrio, changeFrac := 0, 0.0
+		if task.Change.Active() {
+			changePrio, changeFrac = task.Change.NewPriority, task.Change.AtFraction
+		}
+		proc := InitFailureProcess(task.Priority, task.LengthSec, task.FailureSeed,
+			changePrio, changeFrac, &ren, &rng, &par)
+		window := observationWindow(task.LengthSec)
+		nFailures := 0
+		intervals = intervals[:0]
+		prev, t := 0.0, 0.0
+		for {
+			next := proc.NextAfter(t)
+			if math.IsInf(next, 1) || next > window {
+				break
+			}
+			if next <= task.LengthSec {
+				nFailures++
+			}
+			if len(intervals) < maxIntervalsPerTask {
+				intervals = append(intervals, next-prev)
+			} else if next > task.LengthSec {
+				break
+			}
+			prev, t = next, next
 		}
 		for li, limit := range limits {
 			if task.LengthSec > limit {
