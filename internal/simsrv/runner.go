@@ -1,0 +1,268 @@
+package simsrv
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/jobstore"
+	"repro/sim"
+)
+
+// runJob executes one queued job end to end, choosing the terminal (or
+// requeue) transition from how the sweep ended.
+func (s *Server) runJob(id string) {
+	j, ok := s.store.Get(id)
+	if !ok || j.State != jobstore.Queued {
+		return // canceled (or otherwise moved) while waiting in the queue
+	}
+	a := s.watch(id)
+	defer s.unwatch(id, a)
+
+	jobCtx, cancel := context.WithCancel(s.ctx)
+	defer cancel()
+	a.mu.Lock()
+	a.cancel = cancel
+	a.startedAt = time.Now()
+	a.mu.Unlock()
+
+	if err := s.transition(id, a, jobstore.Running, "picked up by worker"); err != nil {
+		s.logf("%s: %v", id, err)
+		return
+	}
+	err := s.execute(jobCtx, id, a)
+	a.mu.Lock()
+	userCancel := a.userCancel
+	a.mu.Unlock()
+	switch {
+	case err == nil:
+		err = s.transition(id, a, jobstore.Done, "sweep complete")
+	case userCancel && errors.Is(err, context.Canceled):
+		err = s.transition(id, a, jobstore.Canceled, "canceled by request")
+	case errors.Is(err, context.Canceled):
+		// Drain: completed indices are already durable; the next
+		// process resumes from them.
+		err = s.transition(id, a, jobstore.Queued, "drained: simd shutting down")
+	default:
+		err = s.transition(id, a, jobstore.Failed, err.Error())
+	}
+	if err != nil {
+		s.logf("%s: %v", id, err)
+	}
+}
+
+// execute runs the job's sweep, skipping every index that is already
+// durably complete (checkpoint record or cache hit), persisting each
+// run as it finishes, and finally merging the report from the cache.
+func (s *Server) execute(ctx context.Context, id string, a *activeJob) error {
+	j, ok := s.store.Get(id)
+	if !ok {
+		return fmt.Errorf("job %s vanished", id)
+	}
+	var sp JobSpec
+	if err := json.Unmarshal(j.Spec, &sp); err != nil {
+		return fmt.Errorf("bad stored spec: %w", err)
+	}
+	sp = sp.Normalize()
+	simu, err := sp.Simulation()
+	if err != nil {
+		return err
+	}
+	n := sp.Runs
+	keys := make([]string, n)
+	for i := range keys {
+		if keys[i], err = sp.RunKey(i); err != nil {
+			return err
+		}
+	}
+
+	// Resume point: indices recorded in the job's checkpoint log plus
+	// indices whose results another job already cached. Cache hits are
+	// promoted into the checkpoint log so the job's own record is
+	// complete.
+	skip := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if _, done := j.Runs[i]; done {
+			skip = append(skip, i)
+			continue
+		}
+		if _, hit := s.cache.Get(keys[i]); hit {
+			if err := s.store.RecordRun(id, i, keys[i]); err != nil {
+				return err
+			}
+			skip = append(skip, i)
+		}
+	}
+	if len(skip) > 0 {
+		s.logf("%s: resuming with %d/%d runs already complete", id, len(skip), n)
+	}
+
+	if len(skip) < n {
+		runs := make([]sim.Run, n)
+		for i := range runs {
+			if n == 1 {
+				// A 1-run job executes under exactly the base seed, so
+				// its result matches a direct Simulation.Run of the spec.
+				runs[i] = sim.Pin(simu, sp.Seed)
+			} else {
+				runs[i] = sim.Run{Sim: simu}
+			}
+		}
+		p := &runPersister{srv: s, job: id, a: a, keys: keys, total: n, lastEvents: make([]uint64, n), putErr: make([]error, n)}
+		p.done = len(skip) // resumed runs count toward runs_completed
+
+		_, err := sim.RunSweep(ctx, runs, sim.SweepOptions{
+			BaseSeed:    sp.Seed,
+			Workers:     s.sweepWorkers,
+			SkipIndices: skip,
+			Observer:    p,
+			Completed:   p.completed,
+		})
+		if err != nil {
+			return err
+		}
+		if err := p.firstPutErr(); err != nil {
+			return err
+		}
+	}
+	return s.merge(id, sp, keys)
+}
+
+// Report is the merged result document of one job. It carries no
+// job-local identity (no ID, no timestamps): the same spec merged from
+// the same per-run results is byte-identical whether the sweep ran
+// uninterrupted or resumed across any number of restarts.
+type Report struct {
+	SpecHash      string          `json:"spec_hash"`
+	EngineVersion string          `json:"engine_version"`
+	Spec          json.RawMessage `json:"spec"`
+	Runs          []ReportRun     `json:"runs"`
+}
+
+// ReportRun is one run's slot in the merged report.
+type ReportRun struct {
+	Index  int             `json:"index"`
+	Seed   uint64          `json:"seed"`
+	Result json.RawMessage `json:"result"`
+}
+
+// merge assembles the job's report purely from the content-addressed
+// cache — never from in-memory outcomes — so resumed and uninterrupted
+// sweeps serialize from the same source bytes.
+func (s *Server) merge(id string, sp JobSpec, keys []string) error {
+	j, _ := s.store.Get(id)
+	h, err := sp.SpecHash()
+	if err != nil {
+		return err
+	}
+	rep := Report{
+		SpecHash:      h,
+		EngineVersion: sim.Version,
+		Spec:          j.Spec,
+		Runs:          make([]ReportRun, len(keys)),
+	}
+	for i, key := range keys {
+		data, ok := s.cache.Get(key)
+		if !ok {
+			return fmt.Errorf("run %d: result missing from cache (key %s)", i, key)
+		}
+		rep.Runs[i] = ReportRun{Index: i, Seed: sp.RunSeed(i), Result: data}
+	}
+	out, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	return s.store.SetResult(id, out)
+}
+
+// runPersister is the sweep observer that makes runs durable: the
+// result bytes go to the content-addressed cache in RunFinished, and
+// only then does the Completed hook append the index to the job's
+// checkpoint log — a crash between the two is repaired by the cache
+// probe on resume.
+type runPersister struct {
+	srv   *Server
+	job   string
+	a     *activeJob
+	keys  []string
+	total int
+
+	mu         sync.Mutex
+	lastEvents []uint64
+	done       int
+	putErr     []error
+}
+
+func (p *runPersister) RunStarted(info sim.RunInfo) {
+	idx := info.Index
+	p.srv.publishEvent(p.job, p.a, event{Type: "run_started", Index: &idx, Seed: info.Seed, Total: p.total})
+}
+
+func (p *runPersister) RunProgress(info sim.RunInfo, prog sim.Progress) {
+	p.mu.Lock()
+	p.lastEvents[info.Index] = prog.Events
+	var total uint64
+	for _, e := range p.lastEvents {
+		total += e
+	}
+	p.mu.Unlock()
+	p.a.mu.Lock()
+	p.a.events = total
+	p.a.mu.Unlock()
+	idx := info.Index
+	p.srv.publishEvent(p.job, p.a, event{
+		Type: "run_progress", Index: &idx, Seed: info.Seed,
+		Events: prog.Events, SimSeconds: prog.SimSeconds,
+	})
+}
+
+func (p *runPersister) RunFinished(info sim.RunInfo, out sim.Outcome) {
+	if out.Err != nil || out.Result == nil {
+		return
+	}
+	data, err := json.Marshal(out.Result)
+	if err == nil {
+		err = p.srv.cache.Put(p.keys[info.Index], data)
+	}
+	if err != nil {
+		p.mu.Lock()
+		p.putErr[info.Index] = err
+		p.mu.Unlock()
+		p.srv.logf("%s: run %d: persisting result: %v", p.job, info.Index, err)
+	}
+}
+
+// completed is the sweep's Completed hook: it runs on the same worker
+// goroutine after RunFinished, so the cache write is already done.
+func (p *runPersister) completed(i int) {
+	p.mu.Lock()
+	failed := p.putErr[i] != nil
+	p.mu.Unlock()
+	if failed {
+		return // nothing durable to record; the job will fail at merge
+	}
+	if err := p.srv.store.RecordRun(p.job, i, p.keys[i]); err != nil {
+		p.srv.logf("%s: run %d: checkpoint: %v", p.job, i, err)
+		return
+	}
+	p.mu.Lock()
+	p.done++
+	done := p.done
+	p.mu.Unlock()
+	idx := i
+	p.srv.publishEvent(p.job, p.a, event{Type: "run_finished", Index: &idx, Completed: done, Total: p.total})
+}
+
+func (p *runPersister) firstPutErr() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, err := range p.putErr {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package sweep
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestSkipIndicesExcludesRunsAndCallbacks checks the resume hook at the
+// scenario-sweep level: skipped indices execute nothing, receive no
+// callbacks, and are marked Skipped, while their siblings behave as in
+// an ordinary sweep.
+func TestSkipIndicesExcludesRunsAndCallbacks(t *testing.T) {
+	sc := scenario.Scenario{Name: "skip", Workload: scenario.Workload{Jobs: 15}}
+	runs := []Run{{Scenario: sc}, {Scenario: sc}, {Scenario: sc}, {Scenario: sc}}
+
+	var mu sync.Mutex
+	started := map[int]bool{}
+	done := map[int]bool{}
+	completed := map[int]bool{}
+	outs := ScenariosContext(context.Background(), runs, Options{
+		BaseSeed:    11,
+		Workers:     2,
+		SkipIndices: map[int]bool{1: true, 3: true},
+		OnRunStart: func(i int, _ string, _ uint64) {
+			mu.Lock()
+			started[i] = true
+			mu.Unlock()
+		},
+		OnRunDone: func(i int, _ Outcome) {
+			mu.Lock()
+			done[i] = true
+			mu.Unlock()
+		},
+		Completed: func(i int) {
+			mu.Lock()
+			completed[i] = true
+			mu.Unlock()
+		},
+	})
+
+	for i, out := range outs {
+		skip := i == 1 || i == 3
+		if out.Skipped != skip {
+			t.Errorf("run %d: Skipped = %v, want %v", i, out.Skipped, skip)
+		}
+		if skip {
+			if out.Result != nil || out.Err != nil {
+				t.Errorf("run %d: skipped run has Result/Err (%v, %v)", i, out.Result != nil, out.Err)
+			}
+			if started[i] || done[i] || completed[i] {
+				t.Errorf("run %d: callbacks fired for skipped run", i)
+			}
+			continue
+		}
+		if out.Err != nil {
+			t.Fatalf("run %d: %v", i, out.Err)
+		}
+		if out.Result == nil {
+			t.Fatalf("run %d: no result", i)
+		}
+		if !started[i] || !done[i] || !completed[i] {
+			t.Errorf("run %d: missing callbacks (start %v, done %v, completed %v)",
+				i, started[i], done[i], completed[i])
+		}
+	}
+
+	// Seeds must be assigned by index regardless of skips.
+	for i, out := range outs {
+		if out.Seed != DeriveSeed(11, i) {
+			t.Errorf("run %d: seed %d, want %d", i, out.Seed, DeriveSeed(11, i))
+		}
+	}
+}
+
+// TestSkipAllIndices degenerates gracefully: every outcome is Skipped
+// and nothing executes.
+func TestSkipAllIndices(t *testing.T) {
+	sc := scenario.Scenario{Name: "skip-all", Workload: scenario.Workload{Jobs: 10}}
+	outs := ScenariosContext(context.Background(), []Run{{Scenario: sc}, {Scenario: sc}}, Options{
+		SkipIndices: map[int]bool{0: true, 1: true},
+		Completed:   func(i int) { t.Errorf("Completed(%d) fired", i) },
+	})
+	for i, out := range outs {
+		if !out.Skipped || out.Result != nil || out.Err != nil {
+			t.Errorf("run %d: not cleanly skipped", i)
+		}
+	}
+}

@@ -168,6 +168,11 @@ type Outcome struct {
 	Seed   uint64
 	Result *engine.Result
 	Err    error
+	// Skipped reports that the run was excluded by Options.SkipIndices:
+	// nothing executed, Result and Err are nil, and the caller is
+	// expected to fill the slot from its own records (see sweep resume
+	// in internal/simsrv).
+	Skipped bool
 
 	index int // position in the sweep, for progress streaming
 }
@@ -199,6 +204,20 @@ type Options struct {
 	// ProgressEvery is the event stride between Progress calls
 	// (0 means the engine default).
 	ProgressEvery uint64
+	// SkipIndices marks runs to leave unexecuted — the sweep-resume
+	// hook. A skipped index gets an Outcome with Skipped set and no
+	// Result; its trace and estimator are not materialized (unless a
+	// non-skipped sibling shares them), and none of the run callbacks
+	// fire for it. Because per-run seeds derive only from (BaseSeed,
+	// index), re-running just the missing indices of an interrupted
+	// sweep produces results identical to the uninterrupted run.
+	SkipIndices map[int]bool
+	// Completed, when non-nil, is called with the run's index after a
+	// run finishes without error and its outcome slot is fully written
+	// (after OnRunDone). Checkpointing sweeps persist the index durably
+	// here, so a later resume can pass it in SkipIndices. Called
+	// concurrently from worker goroutines; must not block for long.
+	Completed func(index int)
 }
 
 // traceKey identifies a materialized trace: workloads are comparable
@@ -259,11 +278,12 @@ func ScenariosContext(ctx context.Context, runs []Run, opt Options) []Outcome {
 	}
 
 	// Phase 1: materialize each distinct workload once, in parallel.
-	// Runs carrying an explicit trace bypass the cache.
+	// Runs carrying an explicit trace bypass the cache; skipped runs
+	// never execute, so their inputs are not materialized either.
 	var traceOrder []traceKey
 	traceIdx := make(map[traceKey]int, n)
 	for i, r := range runs {
-		if r.Trace != nil {
+		if r.Trace != nil || opt.SkipIndices[i] {
 			continue
 		}
 		k := traceKey{seed: seeds[i], w: r.Scenario.Workload}
@@ -283,7 +303,7 @@ func ScenariosContext(ctx context.Context, runs []Run, opt Options) []Outcome {
 	var estOrder []estKey
 	estIdx := make(map[estKey]int, n)
 	for i, r := range runs {
-		if !wantsSharedEstimator(r) {
+		if opt.SkipIndices[i] || !wantsSharedEstimator(r) {
 			continue
 		}
 		k := estKey{
@@ -297,7 +317,7 @@ func ScenariosContext(ctx context.Context, runs []Run, opt Options) []Outcome {
 	}
 	estLimits := make([][]float64, len(estOrder))
 	for i, r := range runs {
-		if !wantsSharedEstimator(r) {
+		if opt.SkipIndices[i] || !wantsSharedEstimator(r) {
 			continue
 		}
 		k := estKey{
@@ -317,6 +337,10 @@ func ScenariosContext(ctx context.Context, runs []Run, opt Options) []Outcome {
 
 	// Phase 3: fan the engine runs across the pool, batched per worker.
 	MapChunkedContext(ctx, n, opt.Workers, opt.Batch, func(i int) (struct{}, error) {
+		if opt.SkipIndices[i] {
+			outs[i].Skipped = true
+			return struct{}{}, nil
+		}
 		if opt.OnRunStart != nil {
 			opt.OnRunStart(i, outs[i].Name, seeds[i])
 		}
@@ -324,11 +348,19 @@ func ScenariosContext(ctx context.Context, runs []Run, opt Options) []Outcome {
 		if opt.OnRunDone != nil {
 			opt.OnRunDone(i, outs[i])
 		}
+		if outs[i].Err == nil && opt.Completed != nil {
+			opt.Completed(i)
+		}
 		return struct{}{}, nil
 	})
-	// Runs the pool never reached (cancellation) still owe an outcome.
+	// Runs the pool never reached (cancellation) still owe an outcome;
+	// skipped runs owe nothing — their slots stay empty by design.
 	if err := ctx.Err(); err != nil {
 		for i := range outs {
+			if opt.SkipIndices[i] {
+				outs[i].Skipped = true // cancellation may beat the pool to the slot
+				continue
+			}
 			if outs[i].Result == nil && outs[i].Err == nil {
 				outs[i].Err = err
 			}

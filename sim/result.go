@@ -78,6 +78,9 @@ type ResultSummary struct {
 // Result is the stable outcome of one simulation run. It marshals to
 // JSON as-is, so results can feed non-Go tooling directly.
 type Result struct {
+	// EngineVersion is the sim.Version the run executed under, stamped
+	// so archived results declare which engine produced them.
+	EngineVersion string `json:"engine_version"`
 	// Policy is the planning policy's display name.
 	Policy string `json:"policy"`
 	// MakespanSec is the simulated time at which all jobs finished.
@@ -91,10 +94,11 @@ type Result struct {
 // newResult converts an engine result into the public form.
 func newResult(res *engine.Result) *Result {
 	out := &Result{
-		Policy:      res.PolicyName,
-		MakespanSec: res.MakespanSec,
-		Events:      res.Events,
-		Jobs:        make([]JobOutcome, 0, len(res.Jobs)),
+		EngineVersion: Version,
+		Policy:        res.PolicyName,
+		MakespanSec:   res.MakespanSec,
+		Events:        res.Events,
+		Jobs:          make([]JobOutcome, 0, len(res.Jobs)),
 	}
 	s := &out.Summary
 	var wprAll, wprFailing float64

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// marshalSweep renders a sweep's per-run results as the concatenation of
+// their JSON documents in index order — the merge shape the simd service
+// persists.
+func marshalSweep(t *testing.T, outs []Outcome) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for i, out := range outs {
+		if out.Err != nil {
+			t.Fatalf("run %d: %v", i, out.Err)
+		}
+		if out.Result == nil {
+			t.Fatalf("run %d: no result", i)
+		}
+		raw, err := json.Marshal(out.Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(raw)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// TestResumedSweepMergeByteIdentical proves the sweep-resume contract:
+// running a sweep in two halves via SkipIndices and merging the results
+// by index produces bytes identical to one uninterrupted serial run.
+func TestResumedSweepMergeByteIdentical(t *testing.T) {
+	s, err := New(WithName("resume"), WithJobs(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+	runs := make([]Run, n)
+	for i := range runs {
+		runs[i] = Run{Sim: s}
+	}
+
+	// The uninterrupted reference: all runs, serial.
+	full, err := RunSweep(context.Background(), runs, SweepOptions{BaseSeed: 7, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := marshalSweep(t, full)
+
+	// "Interrupted" pass: only the first half executes.
+	firstHalf, err := RunSweep(context.Background(), runs, SweepOptions{
+		BaseSeed: 7, Workers: 2, SkipIndices: []int{3, 4, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resume: only the missing indices execute.
+	secondHalf, err := RunSweep(context.Background(), runs, SweepOptions{
+		BaseSeed: 7, Workers: 2, SkipIndices: []int{0, 1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	merged := make([]Outcome, n)
+	for i := 0; i < n; i++ {
+		if i < 3 {
+			merged[i] = firstHalf[i]
+			if !secondHalf[i].Skipped || secondHalf[i].Result != nil {
+				t.Errorf("resume pass executed index %d, expected skip", i)
+			}
+		} else {
+			merged[i] = secondHalf[i]
+			if !firstHalf[i].Skipped || firstHalf[i].Result != nil {
+				t.Errorf("first pass executed index %d, expected skip", i)
+			}
+		}
+	}
+	got := marshalSweep(t, merged)
+	if !bytes.Equal(got, want) {
+		t.Error("resumed merge differs from the uninterrupted serial run")
+	}
+}
+
+// TestCompletedCallbackFiresPerFinishedRun checks that Completed fires
+// exactly once per executed run, never for skipped ones, and only after
+// RunFinished delivered the outcome.
+func TestCompletedCallbackFiresPerFinishedRun(t *testing.T) {
+	s, err := New(WithJobs(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := []Run{{Sim: s}, {Sim: s}, {Sim: s}, {Sim: s}}
+
+	var mu sync.Mutex
+	finished := map[int]bool{}
+	completed := map[int]int{}
+	_, err = RunSweep(context.Background(), runs, SweepOptions{
+		BaseSeed:    5,
+		Workers:     2,
+		SkipIndices: []int{2},
+		Observer: ObserverFuncs{OnFinished: func(info RunInfo, out Outcome) {
+			mu.Lock()
+			finished[info.Index] = true
+			mu.Unlock()
+		}},
+		Completed: func(i int) {
+			mu.Lock()
+			if !finished[i] {
+				t.Errorf("Completed(%d) before RunFinished", i)
+			}
+			completed[i]++
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 1, 3} {
+		if completed[i] != 1 {
+			t.Errorf("Completed(%d) fired %d times, want 1", i, completed[i])
+		}
+	}
+	if completed[2] != 0 {
+		t.Errorf("Completed fired for skipped index 2")
+	}
+}

@@ -34,6 +34,11 @@ type Outcome struct {
 	Seed   uint64
 	Result *Result
 	Err    error
+	// Skipped reports that the run was excluded via
+	// SweepOptions.SkipIndices: nothing executed and Result is nil. The
+	// caller resumes an interrupted sweep by filling skipped slots from
+	// its own persisted results.
+	Skipped bool
 }
 
 // MarshalJSON renders the outcome with the error as a plain string.
@@ -127,6 +132,19 @@ type SweepOptions struct {
 	// 0 falls back to the first WithProgressEvery among the runs, then
 	// to the engine default.
 	ProgressEvery uint64
+	// SkipIndices lists run indices to leave unexecuted — the sweep
+	// resume hook. Skipped runs get an Outcome with Skipped set, no
+	// Result, no Observer events, and their traces are not
+	// materialized. Seeds derive only from (BaseSeed, index), so
+	// re-running exactly the missing indices of an interrupted sweep
+	// reproduces the uninterrupted results bit-for-bit.
+	SkipIndices []int
+	// Completed, when non-nil, is called with a run's index after that
+	// run finishes without error and RunFinished has been delivered.
+	// Checkpointing callers persist the index durably here and pass it
+	// back via SkipIndices on resume. Called concurrently from worker
+	// goroutines; must not block for long.
+	Completed func(index int)
 }
 
 // RunSweep executes the runs across a deterministic worker pool:
@@ -174,6 +192,15 @@ func RunSweep(ctx context.Context, runs []Run, opts SweepOptions) ([]Outcome, er
 		BaseSeed:    opts.BaseSeed,
 		DefaultJobs: opts.DefaultJobs,
 		Workers:     opts.Workers,
+		Completed:   opts.Completed,
+	}
+	if len(opts.SkipIndices) > 0 {
+		sopts.SkipIndices = make(map[int]bool, len(opts.SkipIndices))
+		for _, i := range opts.SkipIndices {
+			if i >= 0 && i < n {
+				sopts.SkipIndices[i] = true
+			}
+		}
 	}
 	outs := make([]Outcome, n)
 
@@ -238,7 +265,7 @@ func RunSweep(ctx context.Context, runs []Run, opts SweepOptions) ([]Outcome, er
 }
 
 func convertOutcome(info RunInfo, out sweep.Outcome) Outcome {
-	o := Outcome{Name: info.Name, Seed: info.Seed, Err: out.Err}
+	o := Outcome{Name: info.Name, Seed: info.Seed, Err: out.Err, Skipped: out.Skipped}
 	if out.Result != nil {
 		o.Result = newResult(out.Result)
 	}

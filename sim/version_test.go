@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+func TestSpecHashCanonicalizesKeyOrderAndSource(t *testing.T) {
+	a, err := SpecHash(map[string]any{"scenario": "baseline-f3", "seed": uint64(7), "runs": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SpecHash(map[string]any{"runs": 3, "seed": uint64(7), "scenario": "baseline-f3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("map key order changed the hash: %s vs %s", a, b)
+	}
+	type spec struct {
+		Scenario string `json:"scenario"`
+		Seed     uint64 `json:"seed"`
+		Runs     int    `json:"runs"`
+	}
+	c, err := SpecHash(spec{Scenario: "baseline-f3", Seed: 7, Runs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != c {
+		t.Errorf("struct and equivalent map hash differently: %s vs %s", a, c)
+	}
+	d, err := SpecHash(spec{Scenario: "baseline-f3", Seed: 8, Runs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == d {
+		t.Error("different seeds produced the same hash")
+	}
+}
+
+func TestCanonicalJSONPreservesLargeIntegers(t *testing.T) {
+	// 2^64-1 is not representable in float64; a naive round-trip
+	// through interface{} would corrupt it.
+	canon, err := CanonicalJSON([]byte(`{"b": 1, "a": 18446744073709551615}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"a":18446744073709551615,"b":1}`
+	if string(canon) != want {
+		t.Errorf("canonical form = %s, want %s", canon, want)
+	}
+}
+
+func TestResultStampsEngineVersion(t *testing.T) {
+	s, err := New(WithJobs(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EngineVersion != Version {
+		t.Errorf("Result.EngineVersion = %q, want %q", res.EngineVersion, Version)
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["engine_version"] != Version {
+		t.Errorf(`result JSON "engine_version" = %v, want %q`, m["engine_version"], Version)
+	}
+}
+
+func TestDeriveSeedMatchesRunSweepAssignment(t *testing.T) {
+	s, err := New(WithJobs(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := []Run{{Sim: s}, {Sim: s}, {Sim: s}}
+	var seeds []uint64
+	outs, err := RunSweep(context.Background(), runs, SweepOptions{
+		BaseSeed: 99,
+		Workers:  1,
+		Observer: ObserverFuncs{OnStarted: func(info RunInfo) {
+			seeds = append(seeds, info.Seed)
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, out := range outs {
+		if want := DeriveSeed(99, i); out.Seed != want {
+			t.Errorf("run %d: sweep assigned seed %d, DeriveSeed says %d", i, out.Seed, want)
+		}
+	}
+	if len(seeds) != 3 {
+		t.Errorf("observer saw %d runs, want 3", len(seeds))
+	}
+}
