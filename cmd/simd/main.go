@@ -42,16 +42,17 @@ func main() {
 	jobs := flag.Int("jobs", 1, "jobs executed concurrently (each job's sweep already fans across CPUs)")
 	sweepWorkers := flag.Int("sweep-workers", 0, "per-job sweep pool size (0 = GOMAXPROCS)")
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "graceful-shutdown budget on SIGTERM/SIGINT")
+	lease := flag.Duration("lease", 0, "claim lease for distributed jobs (0 = 15s default)")
 	flag.Parse()
 	log.SetPrefix("simd: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 
-	if err := run(*addr, *storeDir, *jobs, *sweepWorkers, *drainTimeout); err != nil {
+	if err := run(*addr, *storeDir, *jobs, *sweepWorkers, *drainTimeout, *lease); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, storeDir string, jobs, sweepWorkers int, drainTimeout time.Duration) error {
+func run(addr, storeDir string, jobs, sweepWorkers int, drainTimeout, lease time.Duration) error {
 	store, err := jobstore.Open(storeDir)
 	if err != nil {
 		return err
@@ -60,6 +61,7 @@ func run(addr, storeDir string, jobs, sweepWorkers int, drainTimeout time.Durati
 		Store:        store,
 		Workers:      jobs,
 		SweepWorkers: sweepWorkers,
+		Lease:        lease,
 		Logf:         log.Printf,
 	})
 	if err != nil {

@@ -1,0 +1,67 @@
+// Command simw is the distributed-sweep worker: it claims leased index
+// ranges of distributed jobs from a simd server, executes them through
+// the public repro/sim API, and publishes each run's result bytes back
+// as it finishes.
+//
+// Workers are disposable by design. A claim is a lease: simw renews it
+// while computing, and a worker that dies — SIGKILL included — simply
+// stops renewing, so the server re-issues the unfinished indices to the
+// next worker after the lease expires. Everything a dead worker already
+// published is durable in the server's content-addressed cache and is
+// skipped on re-claim, so worker crashes never change the merged
+// report: N workers on M machines produce bytes identical to a serial
+// run.
+//
+// Usage:
+//
+//	simw -server http://127.0.0.1:8080 -max 4
+//
+// See the README's "Distributed sweeps" section for the full
+// walkthrough.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/coord"
+)
+
+func main() {
+	server := flag.String("server", "http://127.0.0.1:8080", "simd server base URL")
+	name := flag.String("name", "", "worker name (default host:pid)")
+	max := flag.Int("max", 8, "max indices leased per claim")
+	sweepWorkers := flag.Int("sweep-workers", 1, "parallel runs within one claim (scale out with processes instead)")
+	poll := flag.Duration("poll", 250*time.Millisecond, "idle poll interval")
+	flag.Parse()
+
+	if *name == "" {
+		host, _ := os.Hostname()
+		*name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	log.SetPrefix("simw[" + *name + "]: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	w := &coord.Worker{
+		Base:         *server,
+		Name:         *name,
+		Max:          *max,
+		SweepWorkers: *sweepWorkers,
+		Poll:         *poll,
+		Logf:         log.Printf,
+	}
+	log.Printf("claiming from %s (max %d per claim)", *server, *max)
+	if err := w.Run(ctx); err != nil && ctx.Err() == nil {
+		log.Fatal(err)
+	}
+	log.Printf("stopped; any unfinished claim is re-issued after its lease expires")
+}

@@ -1,0 +1,343 @@
+// Process-level tests for the distributed sweep: they build the real
+// simd and simw binaries, run one server with two workers, SIGKILL a
+// worker mid-claim, and require the merged report to be byte-identical
+// to an uninterrupted run — and every run's bytes to match a direct
+// execution through the public sim API. CI's simw-smoke job runs
+// exactly these.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/sim"
+)
+
+var simdBin, simwBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "simw-bin-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	simdBin = filepath.Join(dir, "simd")
+	simwBin = filepath.Join(dir, "simw")
+	for bin, pkg := range map[string]string{simdBin: "repro/cmd/simd", simwBin: "repro/cmd/simw"} {
+		out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "building %s: %v\n%s", pkg, err, out)
+			os.RemoveAll(dir)
+			os.Exit(1)
+		}
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// startSimd launches simd on a free port with a short claim lease and
+// waits for its listen line.
+func startSimd(t *testing.T, store string, lease time.Duration) string {
+	t.Helper()
+	cmd := exec.Command(simdBin, "-addr", "127.0.0.1:0", "-store", store, "-lease", lease.String())
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if line := sc.Text(); strings.HasPrefix(line, "simd listening on ") {
+				addrCh <- strings.Fields(line)[3]
+				break
+			}
+		}
+		io.Copy(io.Discard, stdout)
+	}()
+	select {
+	case addr := <-addrCh:
+		return "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("simd never reported its listen address")
+		return ""
+	}
+}
+
+// startWorker launches one simw against the server. The returned Cmd is
+// reaped on test cleanup if the test has not already killed it.
+func startWorker(t *testing.T, base, name string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(simwBin,
+		"-server", base, "-name", name, "-max", "2", "-poll", "25ms")
+	cmd.Stdout = io.Discard
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	return cmd
+}
+
+func httpJSON(t *testing.T, method, url, body string, out any) int {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+type jobView struct {
+	ID            string `json:"id"`
+	State         string `json:"state"`
+	RunsTotal     int    `json:"runs_total"`
+	RunsCompleted int    `json:"runs_completed"`
+}
+
+func submit(t *testing.T, base, spec string) string {
+	t.Helper()
+	var v jobView
+	if code := httpJSON(t, "POST", base+"/v1/jobs", spec, &v); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	return v.ID
+}
+
+func waitDone(t *testing.T, base, id string, timeout time.Duration) []byte {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		var v jobView
+		httpJSON(t, "GET", base+"/v1/jobs/"+id, "", &v)
+		switch v.State {
+		case "done":
+			resp, err := http.Get(base + "/v1/jobs/" + id + "/result")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			data, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return data
+		case "failed", "canceled":
+			t.Fatalf("job %s ended %s", id, v.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return nil
+}
+
+// checkpointIndices reads a job's durable run records straight off the
+// store.
+func checkpointIndices(t *testing.T, store, id string) []int {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join(store, "jobs", id, "runs.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []int
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var rr struct {
+			Index int `json:"index"`
+		}
+		if err := json.Unmarshal([]byte(line), &rr); err != nil {
+			t.Fatalf("runs.ndjson line %q: %v", line, err)
+		}
+		out = append(out, rr.Index)
+	}
+	return out
+}
+
+// TestKillWorkerMidSweepByteIdentical is the acceptance test for the
+// distributed durability contract, at real process granularity: one
+// simd with a short lease, two simw workers, SIGKILL one after the
+// first checkpoints land, and require (a) the surviving worker to
+// finish the job, (b) the merged report to be byte-identical to the
+// same spec executed by a single uninterrupted worker, (c) every run's
+// result bytes to match a direct execution through the public sim API,
+// and (d) every index to land exactly once in the durable checkpoint.
+// Three seeds in full mode, one in -short.
+func TestKillWorkerMidSweepByteIdentical(t *testing.T) {
+	const runs = 8
+	seeds := []uint64{3, 5, 9}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			spec := fmt.Sprintf(
+				`{"scenario":"baseline-f3","jobs":300,"runs":%d,"seed":%d,"distributed":true}`,
+				runs, seed)
+
+			// Reference: the same spec on a fresh server, one worker,
+			// uninterrupted — the distributed equivalent of -parallel 1.
+			refBase := startSimd(t, t.TempDir(), time.Minute)
+			refID := submit(t, refBase, spec)
+			startWorker(t, refBase, "ref")
+			want := waitDone(t, refBase, refID, 4*time.Minute)
+
+			// Chaos: two workers, short lease, SIGKILL one mid-sweep.
+			store := t.TempDir()
+			base := startSimd(t, store, 750*time.Millisecond)
+			id := submit(t, base, spec)
+			startWorker(t, base, "survivor")
+			victim := startWorker(t, base, "victim")
+
+			deadline := time.Now().Add(4 * time.Minute)
+			for {
+				var v jobView
+				httpJSON(t, "GET", base+"/v1/jobs/"+id, "", &v)
+				if v.RunsCompleted >= 2 || v.State == "done" {
+					t.Logf("SIGKILL victim at %d/%d runs (state %s)", v.RunsCompleted, v.RunsTotal, v.State)
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("checkpoints never appeared")
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			if err := victim.Process.Kill(); err != nil {
+				t.Fatal(err)
+			}
+			victim.Wait()
+
+			got := waitDone(t, base, id, 4*time.Minute)
+			if !bytes.Equal(got, want) {
+				t.Error("merged report after worker SIGKILL differs from the uninterrupted run")
+			}
+
+			// Exactly-once: one durable checkpoint per index, no
+			// duplicates from the killed worker's re-issued range.
+			indices := checkpointIndices(t, store, id)
+			if len(indices) != runs {
+				t.Fatalf("checkpoint holds %d records, want %d: %v", len(indices), runs, indices)
+			}
+			seen := make(map[int]bool)
+			for _, i := range indices {
+				if seen[i] {
+					t.Fatalf("index %d checkpointed twice", i)
+				}
+				seen[i] = true
+			}
+
+			// Every run's bytes must match a direct execution through
+			// the public sim API.
+			var sp sim.JobSpec
+			if err := json.Unmarshal([]byte(spec), &sp); err != nil {
+				t.Fatal(err)
+			}
+			sp = sp.Normalize()
+			direct := make([]sim.Run, runs)
+			for i := range direct {
+				s, err := sp.Simulation()
+				if err != nil {
+					t.Fatal(err)
+				}
+				direct[i] = sim.Run{Sim: s}
+			}
+			outs, err := sim.RunSweep(context.Background(), direct, sim.SweepOptions{BaseSeed: sp.Seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var rep struct {
+				Runs []struct {
+					Seed   uint64          `json:"seed"`
+					Result json.RawMessage `json:"result"`
+				} `json:"runs"`
+			}
+			if err := json.Unmarshal(got, &rep); err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Runs) != runs {
+				t.Fatalf("report holds %d runs, want %d", len(rep.Runs), runs)
+			}
+			for i, r := range rep.Runs {
+				if r.Seed != outs[i].Seed {
+					t.Errorf("run %d seed %d, want %d", i, r.Seed, outs[i].Seed)
+				}
+				wantRes, err := json.Marshal(outs[i].Result)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(r.Result, wantRes) {
+					t.Errorf("run %d result differs from direct sim execution", i)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkerSIGTERMStopsCleanly: a drained worker exits zero and the
+// job still finishes via the remaining worker.
+func TestWorkerSIGTERMStopsCleanly(t *testing.T) {
+	base := startSimd(t, t.TempDir(), time.Second)
+	id := submit(t, base, `{"scenario":"baseline-f3","jobs":200,"runs":4,"seed":2,"distributed":true}`)
+	w1 := startWorker(t, base, "stays")
+	w2 := startWorker(t, base, "leaves")
+	_ = w1
+
+	time.Sleep(150 * time.Millisecond) // let it claim something
+	if err := w2.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- w2.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("simw exited dirty after SIGINT: %v", err)
+		}
+	case <-time.After(time.Minute):
+		w2.Process.Kill()
+		t.Fatal("simw never stopped after SIGINT")
+	}
+	waitDone(t, base, id, 4*time.Minute)
+}

@@ -10,14 +10,17 @@ import (
 	"testing"
 )
 
-// serviceImports is the one sanctioned exception to the library
-// boundary: cmd/simd is the service binary for the internal service
-// layer, so it may wire together the job store and HTTP server — but
-// nothing else under repro/internal.
+// serviceImports is the sanctioned exception to the library boundary:
+// cmd/simd and cmd/simw are the binaries of the internal service layer,
+// so each may wire together exactly the service packages it exists to
+// serve — but nothing else under repro/internal.
 var serviceImports = map[string]map[string]bool{
 	"cmd/simd": {
 		"repro/internal/jobstore": true,
 		"repro/internal/simsrv":   true,
+	},
+	"cmd/simw": {
+		"repro/internal/coord": true,
 	},
 }
 

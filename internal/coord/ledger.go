@@ -1,0 +1,278 @@
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// DefaultLease is the claim lease duration used when none is
+// configured: long enough that a healthy worker heartbeating at a
+// third of the lease never loses a claim to scheduling jitter, short
+// enough that a crashed worker's range is re-issued promptly.
+const DefaultLease = 15 * time.Second
+
+// ErrLeaseLost reports that a claim ID no longer holds its lease: the
+// lease expired (and the range was returned to the pool), the claim was
+// completed, or the ID was never issued by this ledger. A worker
+// receiving it abandons the claim; everything it already published is
+// durable and heals by cache probe.
+var ErrLeaseLost = errors.New("coord: claim lease lost")
+
+// index states inside the ledger.
+const (
+	idxAvailable uint8 = iota
+	idxLeased
+	idxDone
+)
+
+// Claim is one leased index range [Start, End).
+type Claim struct {
+	ID      string
+	Worker  string
+	Start   int
+	End     int
+	Expires time.Time
+}
+
+type claimRec struct {
+	worker  string
+	start   int
+	end     int
+	expires time.Time
+}
+
+// Ledger tracks one sweep's index space through the claim state
+// machine:
+//
+//	available ──claim──→ leased ──publish──→ done
+//	    ↑                  │
+//	    └──lease expiry────┘   (per unfinished index; claim ID fenced)
+//
+// All methods are safe for concurrent use. Expired leases are reaped
+// lazily on every call that inspects claim state, so correctness never
+// depends on a background timer: a range held by a dead worker is
+// re-issued the moment a live worker asks for work after the expiry
+// instant.
+type Ledger struct {
+	mu        sync.Mutex
+	lease     time.Duration
+	now       func() time.Time // injectable clock for fault-injection tests
+	state     []uint8
+	claims    map[string]*claimRec
+	nextID    int
+	doneCount int
+	cursor    int // lowest index that might be available
+	doneCh    chan struct{}
+	closed    bool
+}
+
+// NewLedger tracks n indices, all initially available, under the given
+// lease duration (0 selects DefaultLease).
+func NewLedger(n int, lease time.Duration) *Ledger {
+	if lease <= 0 {
+		lease = DefaultLease
+	}
+	l := &Ledger{
+		lease:  lease,
+		now:    time.Now,
+		state:  make([]uint8, n),
+		claims: make(map[string]*claimRec),
+		doneCh: make(chan struct{}),
+	}
+	if n == 0 {
+		l.closed = true
+		close(l.doneCh)
+	}
+	return l
+}
+
+// SetClock replaces the ledger's time source; fault-injection tests use
+// it to expire leases deterministically. Must be called before the
+// ledger is shared.
+func (l *Ledger) SetClock(now func() time.Time) { l.now = now }
+
+// MarkDone records indices as complete without a claim — the
+// registration path for indices already durable in the checkpoint log
+// or the result cache. Out-of-range and already-done indices are
+// ignored.
+func (l *Ledger) MarkDone(indices ...int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, i := range indices {
+		if i < 0 || i >= len(l.state) || l.state[i] == idxDone {
+			continue
+		}
+		l.state[i] = idxDone
+		l.doneCount++
+	}
+	l.checkDoneLocked()
+}
+
+// Claim leases up to max contiguous available indices (max <= 0 selects
+// 1) to worker, returning ok == false when nothing is available right
+// now — either every index is done or live claims cover the remainder.
+func (l *Ledger) Claim(worker string, max int) (Claim, bool) {
+	if max <= 0 {
+		max = 1
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.expireLocked()
+	start := -1
+	for i := l.cursor; i < len(l.state); i++ {
+		if l.state[i] == idxAvailable {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return Claim{}, false
+	}
+	end := start
+	for end < len(l.state) && end-start < max && l.state[end] == idxAvailable {
+		l.state[end] = idxLeased
+		end++
+	}
+	l.cursor = end
+	l.nextID++
+	id := fmt.Sprintf("c%06d", l.nextID)
+	rec := &claimRec{worker: worker, start: start, end: end, expires: l.now().Add(l.lease)}
+	l.claims[id] = rec
+	return Claim{ID: id, Worker: worker, Start: start, End: end, Expires: rec.expires}, true
+}
+
+// Renew extends a live claim's lease by the ledger's lease duration.
+func (l *Ledger) Renew(id string) (Claim, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.expireLocked()
+	rec, ok := l.claims[id]
+	if !ok {
+		return Claim{}, fmt.Errorf("renewing claim %s: %w", id, ErrLeaseLost)
+	}
+	rec.expires = l.now().Add(l.lease)
+	return Claim{ID: id, Worker: rec.worker, Start: rec.start, End: rec.end, Expires: rec.expires}, nil
+}
+
+// Owns verifies that claim id is live and its range covers index — the
+// pre-publish fence. A zombie claim (expired, completed, or never
+// issued) gets ErrLeaseLost.
+func (l *Ledger) Owns(id string, index int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.expireLocked()
+	rec, ok := l.claims[id]
+	if !ok {
+		return fmt.Errorf("claim %s: %w", id, ErrLeaseLost)
+	}
+	if index < rec.start || index >= rec.end {
+		return fmt.Errorf("claim %s does not cover index %d [%d,%d)", id, index, rec.start, rec.end)
+	}
+	return nil
+}
+
+// CompleteIndex marks one index of a live claim done, after its result
+// bytes are durable. Completing an index twice under the same live
+// claim is idempotent; completing under a lost lease returns
+// ErrLeaseLost (the durable bytes still heal by cache probe).
+func (l *Ledger) CompleteIndex(id string, index int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.expireLocked()
+	rec, ok := l.claims[id]
+	if !ok {
+		return fmt.Errorf("completing index %d: claim %s: %w", index, id, ErrLeaseLost)
+	}
+	if index < rec.start || index >= rec.end {
+		return fmt.Errorf("claim %s does not cover index %d [%d,%d)", id, index, rec.start, rec.end)
+	}
+	if l.state[index] != idxDone {
+		l.state[index] = idxDone
+		l.doneCount++
+		l.checkDoneLocked()
+	}
+	return nil
+}
+
+// Complete retires a claim whose work is finished. Indices of the range
+// not individually completed return to the available pool (a worker
+// that discovered it cannot finish hands the rest back early).
+func (l *Ledger) Complete(id string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.expireLocked()
+	rec, ok := l.claims[id]
+	if !ok {
+		return fmt.Errorf("completing claim %s: %w", id, ErrLeaseLost)
+	}
+	l.releaseLocked(rec)
+	delete(l.claims, id)
+	return nil
+}
+
+// Release abandons a claim explicitly (a worker shutting down cleanly),
+// returning its unfinished indices to the pool immediately instead of
+// waiting out the lease. Releasing a lost lease is a no-op.
+func (l *Ledger) Release(id string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if rec, ok := l.claims[id]; ok {
+		l.releaseLocked(rec)
+		delete(l.claims, id)
+	}
+}
+
+// releaseLocked returns a claim's unfinished indices to available.
+func (l *Ledger) releaseLocked(rec *claimRec) {
+	for i := rec.start; i < rec.end; i++ {
+		if l.state[i] == idxLeased {
+			l.state[i] = idxAvailable
+			if i < l.cursor {
+				l.cursor = i
+			}
+		}
+	}
+}
+
+// expireLocked reaps every claim past its lease deadline, returning
+// unfinished indices to the pool and fencing the claim's ID forever.
+func (l *Ledger) expireLocked() {
+	now := l.now()
+	for id, rec := range l.claims {
+		if now.After(rec.expires) {
+			l.releaseLocked(rec)
+			delete(l.claims, id)
+		}
+	}
+}
+
+func (l *Ledger) checkDoneLocked() {
+	if !l.closed && l.doneCount == len(l.state) {
+		l.closed = true
+		close(l.doneCh)
+	}
+}
+
+// Done is closed once every index is complete.
+func (l *Ledger) Done() <-chan struct{} { return l.doneCh }
+
+// Counts reports the ledger's index population: done, currently leased,
+// and available (expired leases are reaped first).
+func (l *Ledger) Counts() (done, leased, available int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.expireLocked()
+	for _, st := range l.state {
+		switch st {
+		case idxDone:
+			done++
+		case idxLeased:
+			leased++
+		default:
+			available++
+		}
+	}
+	return done, leased, available
+}

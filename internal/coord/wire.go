@@ -1,0 +1,43 @@
+package coord
+
+import "encoding/json"
+
+// The claim protocol's wire types, shared by the simsrv HTTP handlers
+// and the Worker client so the two sides cannot drift.
+
+// ClaimRequest is the body of POST /v1/jobs/{id}/claims.
+type ClaimRequest struct {
+	// Worker names the claimant (diagnostics only; fencing is by claim
+	// ID, not worker name).
+	Worker string `json:"worker"`
+	// Max bounds the range width handed out (0 selects 1).
+	Max int `json:"max,omitempty"`
+	// EngineVersion is the worker's sim.Version. The server refuses
+	// claims from any other version: a result's content address
+	// includes the engine version, so a mismatched worker could never
+	// publish bytes the job's merge would accept.
+	EngineVersion string `json:"engine_version"`
+}
+
+// ClaimResponse grants a leased index range plus everything the worker
+// needs to execute it: the job's normalized spec and the sweep
+// geometry. Responses with 204 No Content mean "nothing available right
+// now — poll again"; the job being gone (done, canceled, drained)
+// surfaces as 404/409/410 on the claim or publish calls.
+type ClaimResponse struct {
+	Job     string `json:"job"`
+	ClaimID string `json:"claim_id"`
+	Start   int    `json:"start"`
+	End     int    `json:"end"` // half-open: indices [start, end)
+	// LeaseMS is the lease duration in milliseconds; workers renew at
+	// roughly a third of it.
+	LeaseMS   int64           `json:"lease_ms"`
+	Spec      json.RawMessage `json:"spec"`
+	RunsTotal int             `json:"runs_total"`
+}
+
+// WorkList is the body of GET /v1/work: the jobs that currently have
+// claimable indices.
+type WorkList struct {
+	Jobs []string `json:"jobs"`
+}

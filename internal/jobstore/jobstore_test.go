@@ -2,10 +2,13 @@ package jobstore
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -196,6 +199,128 @@ func TestMidFileCorruptionFails(t *testing.T) {
 	}
 	if _, err := Open(dir); err == nil {
 		t.Error("mid-file corruption replayed silently")
+	}
+}
+
+// TestConcurrentClaimExactlyOneWinner is the claim race at the store
+// level: after a lease expires, every replacement worker observes the
+// job requeued and races to pick it up. The transition log is the
+// arbiter — queued→running is legal exactly once, so exactly one
+// claimant wins and the losers get the illegal-transition error
+// instead of a duplicate lease.
+func TestConcurrentClaimExactlyOneWinner(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.Create(json.RawMessage(`{"runs":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const claimants = 8
+	var wins atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < claimants; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if _, err := s.Transition(j.ID, Running, fmt.Sprintf("claimed by w%d", g)); err == nil {
+				wins.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := wins.Load(); got != 1 {
+		t.Fatalf("%d claimants won the queued→running race, want exactly 1", got)
+	}
+	got, _ := s.Get(j.ID)
+	if got.State != Running {
+		t.Fatalf("state %q after claim race, want running", got.State)
+	}
+	if len(got.Events) != 2 {
+		t.Fatalf("%d events after claim race, want 2 (create + single claim)", len(got.Events))
+	}
+}
+
+// TestConcurrentRequeueAndDuplicatePublish distills the lease-expiry
+// race end to end: a zombie worker keeps publishing run records after
+// its lease lapsed while the coordinator requeues the job and a
+// replacement re-publishes the same indices. RecordRun's idempotence is
+// the healing contract — the replacement's cache probe re-records
+// indices the zombie already landed, and exactly one record per index
+// must be durable. The requeue/finish transition race must likewise
+// resolve to exactly one winner.
+func TestConcurrentRequeueAndDuplicatePublish(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.Create(json.RawMessage(`{"runs":16}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Transition(j.ID, Running, "claimed"); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 16
+	var wg sync.WaitGroup
+	// Zombie and replacement both publish every index; the cache key is
+	// content-addressed so both carry the same key for a given index.
+	for _, who := range []string{"zombie", "replacement"} {
+		wg.Add(1)
+		go func(who string) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if err := s.RecordRun(j.ID, i, fmt.Sprintf("key%d", i)); err != nil {
+					t.Errorf("%s record %d: %v", who, i, err)
+				}
+			}
+		}(who)
+	}
+	// Meanwhile the requeue edge (coordinator drain) races the finish
+	// edge (sweep completed): running admits both, but taking either
+	// leaves a state from which the other is illegal.
+	var transitions atomic.Int64
+	for _, to := range []State{Queued, Done} {
+		wg.Add(1)
+		go func(to State) {
+			defer wg.Done()
+			if _, err := s.Transition(j.ID, to, "race"); err == nil {
+				transitions.Add(1)
+			}
+		}(to)
+	}
+	wg.Wait()
+	if got := transitions.Load(); got != 1 {
+		t.Fatalf("%d transition winners for requeue-vs-finish, want exactly 1", got)
+	}
+
+	// Exactly-once on disk: reopen and count one durable record per
+	// index, with the runs.ndjson line count matching (no duplicate
+	// appends hidden behind the in-memory dedup).
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s2.Get(j.ID)
+	if len(got.Runs) != n {
+		t.Fatalf("replayed %d run records, want %d", len(got.Runs), n)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "jobs", j.ID, "runs.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(raw), "\n"); lines != n {
+		t.Fatalf("runs.ndjson holds %d lines, want %d — a duplicate publish reached disk", lines, n)
+	}
+	// If the requeue edge won, the healed job must still resume: its
+	// checkpoint already covers every index.
+	if got.State == Queued {
+		if want := n; len(got.CompletedIndices()) != want {
+			t.Fatalf("requeued job lost checkpoint: %d indices", len(got.CompletedIndices()))
+		}
 	}
 }
 

@@ -1,0 +1,181 @@
+package simsrv
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"repro/internal/coord"
+	"repro/sim"
+)
+
+// maxResultBytes bounds one published run result document.
+const maxResultBytes = 64 << 20
+
+// dist returns the claim-serving state of a distributed job, when it is
+// currently accepting claims.
+func (s *Server) dist(id string) *distJob {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	return s.coords[id]
+}
+
+// handleWork lists the jobs with claimable indices right now, sorted
+// for stable output.
+func (s *Server) handleWork(w http.ResponseWriter, r *http.Request) {
+	var jobs []string
+	s.cmu.Lock()
+	ids := make([]string, 0, len(s.coords))
+	for id := range s.coords {
+		ids = append(ids, id)
+	}
+	s.cmu.Unlock()
+	sort.Strings(ids)
+	for _, id := range ids {
+		d := s.dist(id)
+		if d == nil {
+			continue
+		}
+		if _, _, available := d.ledger.Counts(); available > 0 {
+			jobs = append(jobs, id)
+		}
+	}
+	writeJSON(w, http.StatusOK, coord.WorkList{Jobs: jobs})
+}
+
+// handleClaim leases an index range of one distributed job:
+// 200 with the claim, 204 when nothing is available right now, 404 for
+// an unknown job, 409 when the job is not accepting claims (not
+// distributed, not running, already merged) or the worker runs a
+// different engine version.
+func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req coord.ClaimRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding claim request: %v", err)
+		return
+	}
+	if req.EngineVersion != sim.Version {
+		writeError(w, http.StatusConflict, "engine version mismatch: server %s, worker %q", sim.Version, req.EngineVersion)
+		return
+	}
+	d := s.dist(id)
+	if d == nil {
+		if _, ok := s.store.Get(id); !ok {
+			writeError(w, http.StatusNotFound, "unknown job %q", id)
+			return
+		}
+		writeError(w, http.StatusConflict, "job %s is not accepting claims", id)
+		return
+	}
+	cl, ok := d.ledger.Claim(req.Worker, req.Max)
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	s.logf("%s: claim %s [%d,%d) leased to %q", id, cl.ID, cl.Start, cl.End, req.Worker)
+	writeJSON(w, http.StatusOK, coord.ClaimResponse{
+		Job:       id,
+		ClaimID:   cl.ID,
+		Start:     cl.Start,
+		End:       cl.End,
+		LeaseMS:   s.lease.Milliseconds(),
+		Spec:      d.raw,
+		RunsTotal: d.spec.Runs,
+	})
+}
+
+// handleClaimRenew extends a live claim's lease: 200, or 410 once the
+// lease is lost (expired, completed, job no longer accepting claims).
+func (s *Server) handleClaimRenew(w http.ResponseWriter, r *http.Request) {
+	id, claim := r.PathValue("id"), r.PathValue("claim")
+	d := s.dist(id)
+	if d == nil {
+		writeError(w, http.StatusGone, "job %s is not accepting claims", id)
+		return
+	}
+	cl, err := d.ledger.Renew(claim)
+	if err != nil {
+		writeError(w, http.StatusGone, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, coord.ClaimResponse{
+		Job: id, ClaimID: cl.ID, Start: cl.Start, End: cl.End,
+		LeaseMS: s.lease.Milliseconds(), RunsTotal: d.spec.Runs,
+	})
+}
+
+// handleClaimComplete retires a claim, returning any indices the worker
+// did not publish to the available pool. 410 for a lost lease — which
+// already returned them.
+func (s *Server) handleClaimComplete(w http.ResponseWriter, r *http.Request) {
+	id, claim := r.PathValue("id"), r.PathValue("claim")
+	d := s.dist(id)
+	if d == nil {
+		writeError(w, http.StatusGone, "job %s is not accepting claims", id)
+		return
+	}
+	if err := d.ledger.Complete(claim); err != nil {
+		writeError(w, http.StatusGone, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "completed"})
+}
+
+// handlePublishRun accepts one run's result bytes from the claim
+// holder. The durability order is the same as the local path: cache
+// bytes first, checkpoint record second, ledger completion last — a
+// crash or lost lease between any two steps heals on the next claim via
+// the cache probe, and the checkpoint log records each index at most
+// once. A zombie claim is fenced with 410 before anything is written.
+func (s *Server) handlePublishRun(w http.ResponseWriter, r *http.Request) {
+	id, claim := r.PathValue("id"), r.URL.Query().Get("claim")
+	index, err := strconv.Atoi(r.PathValue("index"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad run index %q", r.PathValue("index"))
+		return
+	}
+	d := s.dist(id)
+	if d == nil {
+		writeError(w, http.StatusGone, "job %s is not accepting claims", id)
+		return
+	}
+	if err := d.ledger.Owns(claim, index); err != nil {
+		status := http.StatusConflict
+		if errors.Is(err, coord.ErrLeaseLost) {
+			status = http.StatusGone
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxResultBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading result: %v", err)
+		return
+	}
+	if len(data) == 0 || len(data) > maxResultBytes {
+		writeError(w, http.StatusBadRequest, "result document empty or over %d bytes", maxResultBytes)
+		return
+	}
+	if err := s.cache.Put(d.keys[index], data); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if err := s.store.RecordRun(id, index, d.keys[index]); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if err := d.ledger.CompleteIndex(claim, index); err != nil {
+		// The lease lapsed between the fence and here: the bytes are
+		// durable and will be discovered by the next claimant's cache
+		// probe, but this worker no longer owns the index.
+		writeError(w, http.StatusGone, "%v", err)
+		return
+	}
+	done, _, _ := d.ledger.Counts()
+	idx := index
+	s.publishEvent(id, d.a, event{Type: "run_finished", Index: &idx, Completed: done, Total: d.spec.Runs})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "recorded", "runs_completed": done})
+}

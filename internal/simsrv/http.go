@@ -68,7 +68,20 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	// The distributed-sweep claim surface (see internal/coord).
+	mux.HandleFunc("GET /v1/work", s.handleWork)
+	mux.HandleFunc("POST /v1/jobs/{id}/claims", s.handleClaim)
+	mux.HandleFunc("POST /v1/jobs/{id}/claims/{claim}/renew", s.handleClaimRenew)
+	mux.HandleFunc("POST /v1/jobs/{id}/claims/{claim}/complete", s.handleClaimComplete)
+	mux.HandleFunc("POST /v1/jobs/{id}/runs/{index}", s.handlePublishRun)
 	return mux
+}
+
+// readJSON strictly decodes a request body into out.
+func readJSON(r *http.Request, out any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(out)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

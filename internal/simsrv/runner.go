@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/coord"
 	"repro/internal/jobstore"
 	"repro/sim"
 )
@@ -100,6 +101,10 @@ func (s *Server) execute(ctx context.Context, id string, a *activeJob) error {
 		s.logf("%s: resuming with %d/%d runs already complete", id, len(skip), n)
 	}
 
+	if sp.Distributed {
+		return s.executeDistributed(ctx, id, a, sp, j.Spec, keys, skip)
+	}
+
 	if len(skip) < n {
 		runs := make([]sim.Run, n)
 		for i := range runs {
@@ -129,6 +134,36 @@ func (s *Server) execute(ctx context.Context, id string, a *activeJob) error {
 		}
 	}
 	return s.merge(id, sp, keys)
+}
+
+// executeDistributed serves one distributed job: instead of running the
+// sweep locally, it opens a claim ledger over the index space (indices
+// already durable are pre-marked done) and registers it with the HTTP
+// claim surface, then waits for workers to publish every index — or for
+// cancellation/drain, which unregisters the ledger so outstanding
+// claims are fenced (their publishes get 410) and the job takes its
+// normal requeue/cancel transition with everything already published
+// still durable. On completion the report is merged exclusively from
+// cache bytes, exactly like a local run.
+func (s *Server) executeDistributed(ctx context.Context, id string, a *activeJob, sp JobSpec, raw json.RawMessage, keys []string, skip []int) error {
+	led := coord.NewLedger(sp.Runs, s.lease)
+	led.MarkDone(skip...)
+	d := &distJob{ledger: led, spec: sp, raw: raw, keys: keys, a: a}
+	s.cmu.Lock()
+	s.coords[id] = d
+	s.cmu.Unlock()
+	defer func() {
+		s.cmu.Lock()
+		delete(s.coords, id)
+		s.cmu.Unlock()
+	}()
+	s.logf("%s: accepting claims (%d/%d runs already complete, lease %s)", id, len(skip), sp.Runs, s.lease)
+	select {
+	case <-led.Done():
+		return s.merge(id, sp, keys)
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Report is the merged result document of one job. It carries no

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/coord"
 	"repro/internal/jobstore"
 )
 
@@ -23,6 +24,10 @@ type Config struct {
 	Workers int
 	// SweepWorkers bounds the per-job sweep pool (0 means GOMAXPROCS).
 	SweepWorkers int
+	// Lease is the claim lease duration for distributed jobs
+	// (0 means coord.DefaultLease). A worker that misses renewing for a
+	// full lease loses its claim and the range is re-issued.
+	Lease time.Duration
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -37,6 +42,7 @@ type Server struct {
 	logf         func(string, ...any)
 	sweepWorkers int
 	workers      int
+	lease        time.Duration
 
 	ctx      context.Context // canceled by Drain; aborts in-flight sweeps
 	ctxStop  context.CancelFunc
@@ -48,6 +54,23 @@ type Server struct {
 
 	amu    sync.Mutex
 	active map[string]*activeJob
+
+	// cmu guards the coordinator registry: one distJob per distributed
+	// job currently accepting claims.
+	cmu    sync.Mutex
+	coords map[string]*distJob
+}
+
+// distJob is the server-side state of one distributed job while it is
+// accepting claims: the claim ledger over the sweep's index space plus
+// everything the claim and publish handlers need without re-deriving it
+// per request.
+type distJob struct {
+	ledger *coord.Ledger
+	spec   JobSpec
+	raw    json.RawMessage // normalized spec bytes, as stored
+	keys   []string        // per-index content-address keys
+	a      *activeJob
 }
 
 // activeJob is the in-memory side of one running (or watched) job:
@@ -87,6 +110,10 @@ func New(cfg Config) (*Server, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	lease := cfg.Lease
+	if lease <= 0 {
+		lease = coord.DefaultLease
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{
 		store:        cfg.Store,
@@ -94,9 +121,11 @@ func New(cfg Config) (*Server, error) {
 		logf:         logf,
 		sweepWorkers: cfg.SweepWorkers,
 		workers:      workers,
+		lease:        lease,
 		ctx:          ctx,
 		ctxStop:      stop,
 		active:       make(map[string]*activeJob),
+		coords:       make(map[string]*distJob),
 	}
 	s.qcond = sync.NewCond(&s.qmu)
 

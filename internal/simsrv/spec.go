@@ -9,135 +9,23 @@
 // Completed run indices are persisted as they finish — a killed server
 // resumes a sweep by re-running exactly the missing indices and merges
 // a report byte-identical to an uninterrupted run.
+//
+// A job submitted with "distributed": true is not executed by the
+// server's own sweep pool: its index space is sharded into leased
+// claims served over the HTTP API (see internal/coord) and executed by
+// simw worker processes, with the merged report still assembled
+// exclusively from the content-addressed cache.
 package simsrv
 
 import (
-	"encoding/json"
-	"fmt"
-
 	"repro/sim"
 )
 
 // MaxRuns caps a single job's sweep width.
-const MaxRuns = 100000
+const MaxRuns = sim.MaxSpecRuns
 
-// JobSpec is the submitted description of one job: a registry scenario
-// plus overrides. The zero values of the optional fields inherit the
-// scenario's own declaration.
-type JobSpec struct {
-	// Scenario names a registry entry (see GET /v1/scenarios); required.
-	Scenario string `json:"scenario"`
-	// Seed is the base seed (default 1). A 1-run job executes under
-	// exactly this seed; a sweep derives per-run seeds from (Seed,
-	// index) the same way sim.RunSweep does.
-	Seed uint64 `json:"seed,omitempty"`
-	// Jobs overrides the workload size in jobs; 0 keeps the scenario's
-	// (or the library's 2000-job) default.
-	Jobs int `json:"jobs,omitempty"`
-	// Runs is the sweep width (default 1).
-	Runs int `json:"runs,omitempty"`
-	// Policy overrides the checkpoint policy by name ("formula3",
-	// "young", "daly", "random", "none").
-	Policy string `json:"policy,omitempty"`
-	// Workload, when non-nil, replaces the scenario's workload
-	// declaration entirely.
-	Workload *sim.Workload `json:"workload,omitempty"`
-}
-
-// Normalize fills defaults so equivalent submissions serialize — and
-// therefore hash — identically.
-func (sp JobSpec) Normalize() JobSpec {
-	if sp.Seed == 0 {
-		sp.Seed = 1
-	}
-	if sp.Runs <= 0 {
-		sp.Runs = 1
-	}
-	return sp
-}
-
-// Validate resolves the spec against the registry, reporting unknown
-// scenarios, bad policies, and rejected workloads without running
-// anything.
-func (sp JobSpec) Validate() error {
-	sp = sp.Normalize()
-	if sp.Scenario == "" {
-		return fmt.Errorf("simsrv: spec requires a scenario name")
-	}
-	if sp.Runs > MaxRuns {
-		return fmt.Errorf("simsrv: runs %d exceeds the %d cap", sp.Runs, MaxRuns)
-	}
-	if sp.Jobs < 0 {
-		return fmt.Errorf("simsrv: negative jobs %d", sp.Jobs)
-	}
-	_, err := sp.Simulation()
-	return err
-}
-
-// Simulation builds the runnable simulation the spec describes.
-func (sp JobSpec) Simulation() (*sim.Simulation, error) {
-	sp = sp.Normalize()
-	var opts []sim.Option
-	opts = append(opts, sim.WithSeed(sp.Seed))
-	if sp.Jobs > 0 {
-		opts = append(opts, sim.WithJobs(sp.Jobs))
-	}
-	if sp.Policy != "" {
-		opts = append(opts, sim.WithPolicyName(sp.Policy))
-	}
-	if sp.Workload != nil {
-		opts = append(opts, sim.WithWorkload(*sp.Workload))
-	}
-	return sim.ScenarioByName(sp.Scenario, opts...)
-}
-
-// RunSeed returns the seed run index i executes under: the base seed
-// itself for a 1-run job (matching a direct Simulation.Run of the same
-// spec), the sweep derivation otherwise (matching sim.RunSweep).
-func (sp JobSpec) RunSeed(i int) uint64 {
-	sp = sp.Normalize()
-	if sp.Runs == 1 {
-		return sp.Seed
-	}
-	return sim.DeriveSeed(sp.Seed, i)
-}
-
-// SpecHash is the canonical hash of the per-run work definition: the
-// normalized spec with the run-addressing fields (seed, runs) zeroed,
-// since those identify the run, not the work. Together with the run
-// seed and sim.Version it forms the content address of a run's result.
-func (sp JobSpec) SpecHash() (string, error) {
-	sp = sp.Normalize()
-	sp.Seed, sp.Runs = 0, 0
-	return sim.SpecHash(sp)
-}
-
-// runKeySpec is the content-address preimage of one run's result.
-type runKeySpec struct {
-	SpecHash      string `json:"spec_hash"`
-	Seed          uint64 `json:"seed"`
-	EngineVersion string `json:"engine_version"`
-}
-
-// RunKey returns the content-address of run index i's result:
-// SHA-256 over the canonical JSON of (spec hash, run seed,
-// sim.Version). Bumping sim.Version therefore invalidates every cached
-// result wholesale.
-func (sp JobSpec) RunKey(i int) (string, error) {
-	h, err := sp.SpecHash()
-	if err != nil {
-		return "", err
-	}
-	return sim.SpecHash(runKeySpec{SpecHash: h, Seed: sp.RunSeed(i), EngineVersion: sim.Version})
-}
-
-// MarshalNormalized renders the normalized spec as canonical JSON — the
-// form stored in the jobstore, so replayed jobs re-derive identical
-// hashes.
-func (sp JobSpec) MarshalNormalized() (json.RawMessage, error) {
-	raw, err := json.Marshal(sp.Normalize())
-	if err != nil {
-		return nil, err
-	}
-	return sim.CanonicalJSON(raw)
-}
+// JobSpec is the submitted description of one job. It is the public
+// sim.JobSpec: the simw worker resolves the same spec bytes through the
+// same type, so both processes derive identical simulations, seeds, and
+// cache keys.
+type JobSpec = sim.JobSpec

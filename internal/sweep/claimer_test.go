@@ -1,0 +1,123 @@
+package sweep
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// listClaimer replays a fixed set of ranges, concurrently safe.
+type listClaimer struct {
+	mu     sync.Mutex
+	ranges [][2]int
+}
+
+func (c *listClaimer) Next() (int, int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.ranges) == 0 {
+		return 0, 0, false
+	}
+	r := c.ranges[0]
+	c.ranges = c.ranges[1:]
+	return r[0], r[1], true
+}
+
+// TestMapClaimedContextClaimerOwnsCoverage pins the contract that lets
+// a remote ledger drive the pool: fn runs exactly on the indices the
+// claimer issues, and every index it never issues stays zero-valued
+// with a nil error — the claimer, not the pool, owns coverage.
+func TestMapClaimedContextClaimerOwnsCoverage(t *testing.T) {
+	claim := &listClaimer{ranges: [][2]int{{2, 5}, {7, 8}}}
+	var mu sync.Mutex
+	ran := make(map[int]int)
+	results, err := MapClaimedContext(context.Background(), 10, 4, claim, func(i int) (int, error) {
+		mu.Lock()
+		ran[i]++
+		mu.Unlock()
+		return i * 10, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		issued := (i >= 2 && i < 5) || i == 7
+		if issued {
+			if ran[i] != 1 {
+				t.Errorf("issued index %d ran %d times, want 1", i, ran[i])
+			}
+			if results[i] != i*10 {
+				t.Errorf("results[%d] = %d, want %d", i, results[i], i*10)
+			}
+		} else {
+			if ran[i] != 0 {
+				t.Errorf("unissued index %d ran %d times", i, ran[i])
+			}
+			if results[i] != 0 {
+				t.Errorf("unissued results[%d] = %d, want zero", i, results[i])
+			}
+		}
+	}
+}
+
+// TestCounterClaimerDisjointCover hammers the in-process claimer from
+// many goroutines: the ranges it hands out must be disjoint, in-bounds,
+// and cover [0, n) exactly.
+func TestCounterClaimerDisjointCover(t *testing.T) {
+	const n, chunk, workers = 1000, 7, 8
+	c := &counterClaimer{n: n, chunk: chunk}
+	var mu sync.Mutex
+	owner := make([]int, n)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				start, end, ok := c.Next()
+				if !ok {
+					return
+				}
+				if start < 0 || end > n || end <= start {
+					t.Errorf("claim [%d,%d) out of bounds", start, end)
+					return
+				}
+				mu.Lock()
+				for i := start; i < end; i++ {
+					owner[i]++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	for i, c := range owner {
+		if c != 1 {
+			t.Fatalf("index %d claimed %d times, want exactly once", i, c)
+		}
+	}
+}
+
+// TestMapChunkedIdenticalAcrossChunkAndWorkers is the batching
+// contract: chunk size and worker count change scheduling, never
+// outputs.
+func TestMapChunkedIdenticalAcrossChunkAndWorkers(t *testing.T) {
+	const n = 101
+	fn := func(i int) (int, error) { return i*i + 3, nil }
+	want, err := Map(n, 1, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		for _, chunk := range []int{0, 1, 5, 64, 1000} {
+			got, err := MapChunkedContext(context.Background(), n, workers, chunk, fn)
+			if err != nil {
+				t.Fatalf("workers=%d chunk=%d: %v", workers, chunk, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("workers=%d chunk=%d diverged from serial output", workers, chunk)
+			}
+		}
+	}
+}

@@ -139,6 +139,12 @@ type SweepOptions struct {
 	// re-running exactly the missing indices of an interrupted sweep
 	// reproduces the uninterrupted results bit-for-bit.
 	SkipIndices []int
+	// OnlyIndices restricts the sweep to exactly the listed run
+	// indices, skipping every other slot — the remote-claim hook: a
+	// worker that has leased an index range executes just those indices
+	// while seeds, traces, and results stay addressed by position in
+	// the full sweep. Mutually exclusive with SkipIndices.
+	OnlyIndices []int
 	// Completed, when non-nil, is called with a run's index after that
 	// run finishes without error and RunFinished has been delivered.
 	// Checkpointing callers persist the index durably here and pass it
@@ -194,10 +200,27 @@ func RunSweep(ctx context.Context, runs []Run, opts SweepOptions) ([]Outcome, er
 		Workers:     opts.Workers,
 		Completed:   opts.Completed,
 	}
+	if len(opts.SkipIndices) > 0 && len(opts.OnlyIndices) > 0 {
+		return nil, fmt.Errorf("sim: RunSweep: SkipIndices and OnlyIndices are mutually exclusive")
+	}
 	if len(opts.SkipIndices) > 0 {
 		sopts.SkipIndices = make(map[int]bool, len(opts.SkipIndices))
 		for _, i := range opts.SkipIndices {
 			if i >= 0 && i < n {
+				sopts.SkipIndices[i] = true
+			}
+		}
+	}
+	if len(opts.OnlyIndices) > 0 {
+		only := make(map[int]bool, len(opts.OnlyIndices))
+		for _, i := range opts.OnlyIndices {
+			if i >= 0 && i < n {
+				only[i] = true
+			}
+		}
+		sopts.SkipIndices = make(map[int]bool, n-len(only))
+		for i := 0; i < n; i++ {
+			if !only[i] {
 				sopts.SkipIndices[i] = true
 			}
 		}
