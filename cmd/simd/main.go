@@ -43,16 +43,17 @@ func main() {
 	sweepWorkers := flag.Int("sweep-workers", 0, "per-job sweep pool size (0 = GOMAXPROCS)")
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "graceful-shutdown budget on SIGTERM/SIGINT")
 	lease := flag.Duration("lease", 0, "claim lease for distributed jobs (0 = 15s default)")
+	maxAttempts := flag.Int("max-attempts", 0, "per-index attempt budget before a distributed run is quarantined (0 = 5 default)")
 	flag.Parse()
 	log.SetPrefix("simd: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 
-	if err := run(*addr, *storeDir, *jobs, *sweepWorkers, *drainTimeout, *lease); err != nil {
+	if err := run(*addr, *storeDir, *jobs, *sweepWorkers, *drainTimeout, *lease, *maxAttempts); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, storeDir string, jobs, sweepWorkers int, drainTimeout, lease time.Duration) error {
+func run(addr, storeDir string, jobs, sweepWorkers int, drainTimeout, lease time.Duration, maxAttempts int) error {
 	store, err := jobstore.Open(storeDir)
 	if err != nil {
 		return err
@@ -62,6 +63,7 @@ func run(addr, storeDir string, jobs, sweepWorkers int, drainTimeout, lease time
 		Workers:      jobs,
 		SweepWorkers: sweepWorkers,
 		Lease:        lease,
+		MaxAttempts:  maxAttempts,
 		Logf:         log.Printf,
 	})
 	if err != nil {

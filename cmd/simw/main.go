@@ -12,6 +12,15 @@
 // report: N workers on M machines produce bytes identical to a serial
 // run.
 //
+// The server is allowed to die too. Every request runs under a
+// per-attempt deadline and transient failures — timeouts, connection
+// resets, 5xx — are retried with exponential backoff under a budget
+// stretched to twice the claim lease, and the coordinator's claim
+// ledger is durable, so a worker rides out a simd restart: its lease
+// survives in the replayed ledger and renewals pick up where they left
+// off. Only an outage longer than the lease costs the claim, and then
+// only the not-yet-published indices.
+//
 // Usage:
 //
 //	simw -server http://127.0.0.1:8080 -max 4
@@ -39,6 +48,8 @@ func main() {
 	max := flag.Int("max", 8, "max indices leased per claim")
 	sweepWorkers := flag.Int("sweep-workers", 1, "parallel runs within one claim (scale out with processes instead)")
 	poll := flag.Duration("poll", 250*time.Millisecond, "idle poll interval")
+	tryTimeout := flag.Duration("try-timeout", 0, "deadline for one HTTP attempt (0 = 5s default)")
+	retryBudget := flag.Duration("retry-budget", 0, "total retry budget per call, backoff included; claim-scoped calls stretch it to twice the lease (0 = 15s default)")
 	flag.Parse()
 
 	if *name == "" {
@@ -57,6 +68,7 @@ func main() {
 		Max:          *max,
 		SweepWorkers: *sweepWorkers,
 		Poll:         *poll,
+		Retry:        coord.RetryPolicy{PerTryTimeout: *tryTimeout, Budget: *retryBudget},
 		Logf:         log.Printf,
 	}
 	log.Printf("claiming from %s (max %d per claim)", *server, *max)

@@ -50,8 +50,15 @@ func TestMain(m *testing.M) {
 // startSimd launches simd on a free port with a short claim lease and
 // waits for its listen line.
 func startSimd(t *testing.T, store string, lease time.Duration) string {
+	base, _ := startSimdProc(t, store, lease, "127.0.0.1:0")
+	return base
+}
+
+// startSimdProc launches simd on addr and waits for its listen line,
+// returning the base URL and the process (for tests that kill it).
+func startSimdProc(t *testing.T, store string, lease time.Duration, addr string) (string, *exec.Cmd) {
 	t.Helper()
-	cmd := exec.Command(simdBin, "-addr", "127.0.0.1:0", "-store", store, "-lease", lease.String())
+	cmd := exec.Command(simdBin, "-addr", addr, "-store", store, "-lease", lease.String())
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -78,11 +85,11 @@ func startSimd(t *testing.T, store string, lease time.Duration) string {
 		io.Copy(io.Discard, stdout)
 	}()
 	select {
-	case addr := <-addrCh:
-		return "http://" + addr
+	case got := <-addrCh:
+		return "http://" + got, cmd
 	case <-time.After(30 * time.Second):
 		t.Fatal("simd never reported its listen address")
-		return ""
+		return "", nil
 	}
 }
 
@@ -312,6 +319,181 @@ func TestKillWorkerMidSweepByteIdentical(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// mustClaim leases an index range over raw HTTP (bypassing the worker
+// binary) so tests can hold claims that behave badly on purpose.
+func mustClaim(t *testing.T, base, id, worker string, max int) claimView {
+	t.Helper()
+	body := fmt.Sprintf(`{"worker":%q,"max":%d,"engine_version":%q}`, worker, max, sim.Version)
+	deadline := time.Now().Add(time.Minute)
+	for time.Now().Before(deadline) {
+		var cl claimView
+		code := httpJSON(t, "POST", base+"/v1/jobs/"+id+"/claims", body, &cl)
+		if code == http.StatusOK {
+			return cl
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("claim for %q never granted", worker)
+	return claimView{}
+}
+
+type claimView struct {
+	ClaimID string `json:"claim_id"`
+	Start   int    `json:"start"`
+	End     int    `json:"end"`
+}
+
+// renewStatus posts one lease renewal and reports the HTTP status, or 0
+// when the coordinator is unreachable (between processes).
+func renewStatus(base, id, claim string) int {
+	resp, err := http.Post(base+"/v1/jobs/"+id+"/claims/"+claim+"/renew", "application/json", nil)
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode
+}
+
+// TestKillSimdMidSweepWorkersReconnect is the coordinator-durability
+// acceptance test at real process granularity: SIGKILL simd mid-sweep
+// with two live simw workers attached, restart it on the same address
+// over the same store, and require (a) the workers to ride out the
+// outage via their retrying transport, (b) a claim fenced BEFORE the
+// restart to still answer 410 from the replayed ledger, (c) every index
+// to land exactly once, and (d) the merged report to be byte-identical
+// to an uninterrupted run.
+func TestKillSimdMidSweepWorkersReconnect(t *testing.T) {
+	const runs = 12
+	spec := fmt.Sprintf(
+		`{"scenario":"baseline-f3","jobs":300,"runs":%d,"seed":7,"distributed":true}`, runs)
+
+	// Reference: same spec, one worker, no interruptions.
+	refBase := startSimd(t, t.TempDir(), time.Minute)
+	refID := submit(t, refBase, spec)
+	startWorker(t, refBase, "ref")
+	want := waitDone(t, refBase, refID, 4*time.Minute)
+
+	store := t.TempDir()
+	lease := 2 * time.Second
+	base, simd1 := startSimdProc(t, store, lease, "127.0.0.1:0")
+	hostport := strings.TrimPrefix(base, "http://")
+	id := submit(t, base, spec)
+
+	// zombie1 claims a range and never renews: its lease expires and the
+	// fence must survive the restart. zombie2 claims a range and renews
+	// until the kill, pinning two indices so the sweep cannot finish
+	// before the coordinator dies.
+	zombie1 := mustClaim(t, base, id, "zombie1", 2)
+	zombie2 := mustClaim(t, base, id, "zombie2", 2)
+	stopRenew := make(chan struct{})
+	renewDone := make(chan struct{})
+	go func() {
+		defer close(renewDone)
+		tick := time.NewTicker(lease / 4)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopRenew:
+				return
+			case <-tick.C:
+				renewStatus(base, id, zombie2.ClaimID)
+			}
+		}
+	}()
+	defer func() {
+		select {
+		case <-stopRenew:
+		default:
+			close(stopRenew)
+		}
+		<-renewDone
+	}()
+
+	startWorker(t, base, "s1")
+	startWorker(t, base, "s2")
+
+	// Wait until the sweep is durably mid-flight: zombie1's lease has
+	// expired into a permanent fence (it vanishes from the live-claims
+	// snapshot — reading the snapshot triggers the coordinator's lazy
+	// reaping, and a renew probe would reset the lease) and real
+	// checkpoints exist.
+	deadline := time.Now().Add(4 * time.Minute)
+	for {
+		var lv struct {
+			Claims []struct {
+				ID string `json:"id"`
+			} `json:"claims"`
+		}
+		httpJSON(t, "GET", base+"/v1/jobs/"+id+"/claims", "", &lv)
+		alive := false
+		for _, cl := range lv.Claims {
+			if cl.ID == zombie1.ClaimID {
+				alive = true
+			}
+		}
+		var v jobView
+		httpJSON(t, "GET", base+"/v1/jobs/"+id, "", &v)
+		if v.State == "done" || v.State == "failed" {
+			t.Fatalf("job reached %s before the coordinator could be killed", v.State)
+		}
+		if !alive && v.RunsCompleted >= 2 {
+			t.Logf("SIGKILL simd at %d/%d runs, zombie1 fenced", v.RunsCompleted, v.RunsTotal)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep never reached the kill point (zombie1 alive=%v, completed=%d)", alive, v.RunsCompleted)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// SIGKILL: no drain, no goodbye — only the WAL's own fsyncs survive.
+	close(stopRenew)
+	<-renewDone
+	if err := simd1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	simd1.Wait()
+
+	// Restart over the same store on the same address; the workers keep
+	// polling and retrying throughout.
+	startSimdProc(t, store, lease, hostport)
+
+	// The pre-restart fence must still answer 410 from the replayed
+	// ledger (503 means the coordinator is still warming up — retry,
+	// exactly as the worker transport does).
+	deadline = time.Now().Add(time.Minute)
+	for {
+		code := renewStatus(base, id, zombie1.ClaimID)
+		if code == http.StatusGone {
+			break
+		}
+		if code == http.StatusOK {
+			t.Fatal("pre-restart zombie claim renewed successfully after replay")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("zombie renew after restart: last status %d, want 410", code)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	got := waitDone(t, base, id, 4*time.Minute)
+	if !bytes.Equal(got, want) {
+		t.Error("merged report after coordinator SIGKILL differs from the uninterrupted run")
+	}
+	indices := checkpointIndices(t, store, id)
+	if len(indices) != runs {
+		t.Fatalf("checkpoint holds %d records, want %d: %v", len(indices), runs, indices)
+	}
+	seen := make(map[int]bool)
+	for _, i := range indices {
+		if seen[i] {
+			t.Fatalf("index %d checkpointed twice", i)
+		}
+		seen[i] = true
 	}
 }
 

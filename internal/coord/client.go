@@ -1,0 +1,181 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"time"
+)
+
+// The hardened worker transport. Every request runs under a per-attempt
+// context deadline; transient failures — timeouts, connection resets,
+// refused connections, torn response bodies, 5xx — are retried with
+// exponential backoff and jitter under a per-call budget derived from
+// the claim lease, so workers ride out a coordinator restart and
+// reconnect instead of abandoning their claims. Protocol verdicts
+// (2xx success, 404/409/410 fences) return immediately: a fence is an
+// answer, not an outage.
+
+// maxResponseBytes bounds one response body read by the worker; claim
+// responses carry the job's full spec, everything else is small.
+const maxResponseBytes = 8 << 20
+
+// RetryPolicy shapes the worker transport's retry behavior. The zero
+// value selects the defaults noted per field.
+type RetryPolicy struct {
+	// PerTryTimeout bounds a single HTTP attempt — connect, write,
+	// response, body — so one stalled connection can never hang a
+	// worker (0 selects 5s).
+	PerTryTimeout time.Duration
+	// Budget bounds one logical call end to end, backoff sleeps
+	// included (0 selects 15s). Lease-scoped calls (renew, publish,
+	// complete, fail) stretch it to at least twice the claim lease, so
+	// the budget always spans a coordinator restart shorter than the
+	// lease the server itself promised.
+	Budget time.Duration
+	// BaseDelay is the first backoff sleep, doubled each attempt
+	// (0 selects 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth (0 selects 2s). Each sleep is
+	// jittered uniformly over [d/2, 3d/2) to spread a reconnecting
+	// fleet.
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.PerTryTimeout <= 0 {
+		p.PerTryTimeout = 5 * time.Second
+	}
+	if p.Budget <= 0 {
+		p.Budget = 15 * time.Second
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// defaultHTTPClient replaces the old http.DefaultClient fallback, which
+// had no timeout of any kind: one hung claim, renew, or publish call
+// stalled a worker forever. Total request time is bounded per attempt
+// by the retry layer's context deadline; the transport additionally
+// bounds the phases a context cannot always interrupt promptly.
+var defaultHTTPClient = &http.Client{
+	Transport: &http.Transport{
+		DialContext: (&net.Dialer{
+			Timeout:   5 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		MaxIdleConnsPerHost:   4,
+		IdleConnTimeout:       90 * time.Second,
+		TLSHandshakeTimeout:   5 * time.Second,
+		ResponseHeaderTimeout: 0, // per-attempt ctx deadline governs
+		ExpectContinueTimeout: time.Second,
+	},
+}
+
+// roundTrip performs one logical call with retries: per-attempt context
+// deadlines, exponential backoff with jitter, and a total budget
+// (budget <= 0 selects the policy default). Transport errors and 5xx
+// responses retry; any other status returns to the caller, who
+// interprets the protocol verdict. The parent ctx being canceled aborts
+// immediately with ctx.Err().
+func (w *Worker) roundTrip(ctx context.Context, method, path string, body []byte, budget time.Duration) (int, []byte, error) {
+	pol := w.Retry.withDefaults()
+	if budget <= 0 {
+		budget = pol.Budget
+	}
+	overall, cancel := context.WithTimeout(ctx, budget)
+	defer cancel()
+
+	delay := pol.BaseDelay
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		status, data, err := w.tryOnce(overall, pol.PerTryTimeout, method, path, body)
+		if err == nil && status < 500 {
+			return status, data, nil
+		}
+		if err == nil {
+			err = fmt.Errorf("status %d: %s", status, clip(data))
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return 0, nil, ctx.Err()
+		}
+		if overall.Err() != nil {
+			return 0, nil, fmt.Errorf("coord: %s %s: gave up after %d attempts: %w", method, path, attempt, lastErr)
+		}
+		w.logf("%s %s: attempt %d: %v (retrying)", method, path, attempt, err)
+		// Jittered sleep in [delay/2, 3*delay/2), bounded by the budget.
+		d := delay/2 + time.Duration(rand.Int63n(int64(delay)))
+		select {
+		case <-overall.Done():
+			if ctx.Err() != nil {
+				return 0, nil, ctx.Err()
+			}
+			return 0, nil, fmt.Errorf("coord: %s %s: gave up after %d attempts: %w", method, path, attempt, lastErr)
+		case <-time.After(d):
+		}
+		if delay *= 2; delay > pol.MaxDelay {
+			delay = pol.MaxDelay
+		}
+	}
+}
+
+// tryOnce is a single bounded HTTP attempt: request, response, full
+// body read, all under one deadline.
+func (w *Worker) tryOnce(ctx context.Context, timeout time.Duration, method, path string, body []byte) (int, []byte, error) {
+	actx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, w.Base+path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := w.client().Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		// A torn body — the server died mid-response — is as transient
+		// as a refused connection.
+		return 0, nil, fmt.Errorf("reading response: %w", err)
+	}
+	return resp.StatusCode, data, nil
+}
+
+// leaseBudget is the retry budget for calls scoped to a live claim: at
+// least the policy budget, stretched to twice the lease so the retry
+// window always covers a coordinator restart the lease itself would
+// survive.
+func (w *Worker) leaseBudget(cl *ClaimResponse) time.Duration {
+	pol := w.Retry.withDefaults()
+	if lb := 2 * time.Duration(cl.LeaseMS) * time.Millisecond; lb > pol.Budget {
+		return lb
+	}
+	return pol.Budget
+}
+
+// clip bounds an error-body excerpt for log lines.
+func clip(b []byte) string {
+	const n = 256
+	if len(b) > n {
+		return string(b[:n]) + "..."
+	}
+	return string(b)
+}

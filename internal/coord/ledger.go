@@ -3,6 +3,9 @@ package coord
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -12,6 +15,13 @@ import (
 // third of the lease never loses a claim to scheduling jitter, short
 // enough that a crashed worker's range is re-issued promptly.
 const DefaultLease = 15 * time.Second
+
+// DefaultMaxAttempts is the per-index attempt budget used when none is
+// configured: a run whose every claimant dies (lease expiry) or fails
+// (reported error) this many times is quarantined and the job fails
+// loudly with a per-index diagnosis instead of livelocking workers on
+// a poisoned run.
+const DefaultMaxAttempts = 5
 
 // ErrLeaseLost reports that a claim ID no longer holds its lease: the
 // lease expired (and the range was returned to the pool), the claim was
@@ -25,6 +35,7 @@ const (
 	idxAvailable uint8 = iota
 	idxLeased
 	idxDone
+	idxQuarantined
 )
 
 // Claim is one leased index range [Start, End).
@@ -47,39 +58,58 @@ type claimRec struct {
 // machine:
 //
 //	available ──claim──→ leased ──publish──→ done
-//	    ↑                  │
-//	    └──lease expiry────┘   (per unfinished index; claim ID fenced)
+//	    ↑                  │  │
+//	    └──lease expiry────┘  └─K failures─→ quarantined  (job fails)
+//	       (per unfinished index; attempts++, claim ID fenced)
 //
 // All methods are safe for concurrent use. Expired leases are reaped
 // lazily on every call that inspects claim state, so correctness never
 // depends on a background timer: a range held by a dead worker is
 // re-issued the moment a live worker asks for work after the expiry
 // instant.
+//
+// A ledger bound to a WAL (see Recover) appends every transition as an
+// fsynced NDJSON record before applying it, so a coordinator restarted
+// over the same store resumes mid-flight: live leases keep their
+// deadlines, every claim ID ever fenced still answers ErrLeaseLost
+// (IDs are never reissued — the WAL carries the counter), and attempt
+// counts survive toward the quarantine budget.
 type Ledger struct {
-	mu        sync.Mutex
-	lease     time.Duration
-	now       func() time.Time // injectable clock for fault-injection tests
-	state     []uint8
-	claims    map[string]*claimRec
-	nextID    int
-	doneCount int
-	cursor    int // lowest index that might be available
-	doneCh    chan struct{}
-	closed    bool
+	mu          sync.Mutex
+	lease       time.Duration
+	maxAttempts int
+	now         func() time.Time // injectable clock for fault-injection tests
+	state       []uint8
+	attempts    []int    // failed attempts per index (expiry or reported failure)
+	lastFail    []string // most recent failure diagnosis per index
+	claims      map[string]*claimRec
+	wal         *WAL
+	nextID      int
+	doneCount   int
+	cursor      int // lowest index that might be available
+	doneCh      chan struct{}
+	closed      bool
+	fatalCh     chan struct{}
+	fatalErr    error
 }
 
 // NewLedger tracks n indices, all initially available, under the given
-// lease duration (0 selects DefaultLease).
+// lease duration (0 selects DefaultLease) and the default attempt
+// budget (see SetMaxAttempts).
 func NewLedger(n int, lease time.Duration) *Ledger {
 	if lease <= 0 {
 		lease = DefaultLease
 	}
 	l := &Ledger{
-		lease:  lease,
-		now:    time.Now,
-		state:  make([]uint8, n),
-		claims: make(map[string]*claimRec),
-		doneCh: make(chan struct{}),
+		lease:       lease,
+		maxAttempts: DefaultMaxAttempts,
+		now:         time.Now,
+		state:       make([]uint8, n),
+		attempts:    make([]int, n),
+		lastFail:    make([]string, n),
+		claims:      make(map[string]*claimRec),
+		doneCh:      make(chan struct{}),
+		fatalCh:     make(chan struct{}),
 	}
 	if n == 0 {
 		l.closed = true
@@ -93,10 +123,172 @@ func NewLedger(n int, lease time.Duration) *Ledger {
 // ledger is shared.
 func (l *Ledger) SetClock(now func() time.Time) { l.now = now }
 
+// SetMaxAttempts replaces the per-index attempt budget (k <= 0 selects
+// DefaultMaxAttempts). Must be called before the ledger is shared.
+func (l *Ledger) SetMaxAttempts(k int) {
+	if k <= 0 {
+		k = DefaultMaxAttempts
+	}
+	l.maxAttempts = k
+}
+
+// Recover replays previously logged transitions into the ledger and
+// attaches the WAL for future appends. Must be called before the
+// ledger is shared. Replay applies each record without re-logging it;
+// a record referencing an index outside the ledger's space fails
+// loudly (the WAL belongs to a different sweep geometry). If replay
+// restores a quarantined index, the ledger is immediately fatal — the
+// poison verdict survives the restart.
+func (l *Ledger) Recover(wal *WAL, recs []WALRecord) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, rec := range recs {
+		if err := l.applyLocked(rec); err != nil {
+			return err
+		}
+	}
+	l.wal = wal
+	l.cursor = 0
+	if diag := l.diagnosisLocked(); diag != nil {
+		l.fatalLocked(diag)
+	}
+	l.checkDoneLocked()
+	return nil
+}
+
+// applyLocked replays one WAL record into ledger state. Attempt bumps
+// from fence/fail records never trigger quarantine here — quarantine
+// transitions are driven only by their own explicit records, so replay
+// reproduces exactly the state that was logged.
+func (l *Ledger) applyLocked(rec WALRecord) error {
+	switch rec.Op {
+	case opClaim:
+		if rec.Start < 0 || rec.End > len(l.state) || rec.Start > rec.End {
+			return fmt.Errorf("coord: wal: claim %s range [%d,%d) outside ledger of %d runs", rec.Claim, rec.Start, rec.End, len(l.state))
+		}
+		for i := rec.Start; i < rec.End; i++ {
+			if l.state[i] == idxAvailable {
+				l.state[i] = idxLeased
+			}
+		}
+		l.claims[rec.Claim] = &claimRec{
+			worker:  rec.Worker,
+			start:   rec.Start,
+			end:     rec.End,
+			expires: time.UnixMilli(rec.Expires),
+		}
+		if n, err := strconv.Atoi(strings.TrimPrefix(rec.Claim, "c")); err == nil && n > l.nextID {
+			l.nextID = n
+		}
+	case opRenew:
+		if c, ok := l.claims[rec.Claim]; ok {
+			c.expires = time.UnixMilli(rec.Expires)
+		}
+	case opDone:
+		if rec.Index < 0 || rec.Index >= len(l.state) {
+			return fmt.Errorf("coord: wal: done record index %d outside ledger of %d runs", rec.Index, len(l.state))
+		}
+		if l.state[rec.Index] != idxDone {
+			l.state[rec.Index] = idxDone
+			l.doneCount++
+		}
+	case opRelease:
+		if c, ok := l.claims[rec.Claim]; ok {
+			l.releaseLocked(c)
+			delete(l.claims, rec.Claim)
+		}
+	case opFence:
+		if c, ok := l.claims[rec.Claim]; ok {
+			for i := c.start; i < c.end; i++ {
+				if l.state[i] == idxLeased {
+					l.attempts[i]++
+					l.lastFail[i] = rec.Reason
+				}
+			}
+			l.releaseLocked(c)
+			delete(l.claims, rec.Claim)
+		}
+	case opFail:
+		if rec.Index < 0 || rec.Index >= len(l.state) {
+			return fmt.Errorf("coord: wal: fail record index %d outside ledger of %d runs", rec.Index, len(l.state))
+		}
+		if l.state[rec.Index] == idxLeased {
+			l.state[rec.Index] = idxAvailable
+		}
+		l.attempts[rec.Index]++
+		l.lastFail[rec.Index] = rec.Reason
+	case opQuarantine:
+		if rec.Index < 0 || rec.Index >= len(l.state) {
+			return fmt.Errorf("coord: wal: quarantine record index %d outside ledger of %d runs", rec.Index, len(l.state))
+		}
+		if l.state[rec.Index] != idxDone {
+			l.state[rec.Index] = idxQuarantined
+		}
+		if rec.Attempts > l.attempts[rec.Index] {
+			l.attempts[rec.Index] = rec.Attempts
+		}
+		l.lastFail[rec.Index] = rec.Reason
+	default:
+		return fmt.Errorf("coord: wal: unknown op %q", rec.Op)
+	}
+	return nil
+}
+
+// logLocked appends one record to the attached WAL (a no-op without
+// one). An append failure — disk gone, store unwritable — is fatal for
+// the sweep: the coordinator can no longer promise durability, so the
+// job must fail loudly rather than continue with a silent hole in its
+// recovery record. The in-memory transition still applies so live
+// workers observe a consistent ledger while the job winds down.
+func (l *Ledger) logLocked(rec WALRecord) {
+	if l.wal == nil {
+		return
+	}
+	if err := l.wal.Append(rec); err != nil {
+		l.fatalLocked(fmt.Errorf("coord: ledger wal append failed: %w", err))
+	}
+}
+
+// fatalLocked records the sweep-killing error and signals Fatal once.
+func (l *Ledger) fatalLocked(err error) {
+	if l.fatalErr == nil {
+		l.fatalErr = err
+		close(l.fatalCh)
+	}
+}
+
+// bumpAttemptLocked charges one failed attempt against an index and
+// quarantines it when the budget is exhausted.
+func (l *Ledger) bumpAttemptLocked(i int, reason string) {
+	l.attempts[i]++
+	l.lastFail[i] = reason
+	if l.attempts[i] >= l.maxAttempts && l.state[i] != idxDone && l.state[i] != idxQuarantined {
+		l.logLocked(WALRecord{Op: opQuarantine, Index: i, Attempts: l.attempts[i], Reason: reason})
+		l.state[i] = idxQuarantined
+		l.fatalLocked(l.diagnosisLocked())
+	}
+}
+
+// diagnosisLocked builds the per-index poison report, or nil when
+// nothing is quarantined.
+func (l *Ledger) diagnosisLocked() error {
+	var parts []string
+	for i, st := range l.state {
+		if st == idxQuarantined {
+			parts = append(parts, fmt.Sprintf("run %d quarantined after %d failed attempts (last: %s)", i, l.attempts[i], l.lastFail[i]))
+		}
+	}
+	if len(parts) == 0 {
+		return nil
+	}
+	return fmt.Errorf("coord: job poisoned: %s", strings.Join(parts, "; "))
+}
+
 // MarkDone records indices as complete without a claim — the
 // registration path for indices already durable in the checkpoint log
-// or the result cache. Out-of-range and already-done indices are
-// ignored.
+// or the result cache. Derived state (runs.ndjson is replayed on every
+// startup) is not re-logged to the WAL. Out-of-range and already-done
+// indices are ignored.
 func (l *Ledger) MarkDone(indices ...int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -112,7 +304,9 @@ func (l *Ledger) MarkDone(indices ...int) {
 
 // Claim leases up to max contiguous available indices (max <= 0 selects
 // 1) to worker, returning ok == false when nothing is available right
-// now — either every index is done or live claims cover the remainder.
+// now — either every index is done, live claims cover the remainder, or
+// the ledger is fatal (poisoned or unwritable) and has stopped handing
+// out work.
 func (l *Ledger) Claim(worker string, max int) (Claim, bool) {
 	if max <= 0 {
 		max = 1
@@ -120,6 +314,9 @@ func (l *Ledger) Claim(worker string, max int) (Claim, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.expireLocked()
+	if l.fatalErr != nil {
+		return Claim{}, false
+	}
 	start := -1
 	for i := l.cursor; i < len(l.state); i++ {
 		if l.state[i] == idxAvailable {
@@ -132,13 +329,17 @@ func (l *Ledger) Claim(worker string, max int) (Claim, bool) {
 	}
 	end := start
 	for end < len(l.state) && end-start < max && l.state[end] == idxAvailable {
-		l.state[end] = idxLeased
 		end++
 	}
-	l.cursor = end
 	l.nextID++
 	id := fmt.Sprintf("c%06d", l.nextID)
-	rec := &claimRec{worker: worker, start: start, end: end, expires: l.now().Add(l.lease)}
+	expires := l.now().Add(l.lease)
+	l.logLocked(WALRecord{Op: opClaim, Claim: id, Worker: worker, Start: start, End: end, Expires: expires.UnixMilli()})
+	for i := start; i < end; i++ {
+		l.state[i] = idxLeased
+	}
+	l.cursor = end
+	rec := &claimRec{worker: worker, start: start, end: end, expires: expires}
 	l.claims[id] = rec
 	return Claim{ID: id, Worker: worker, Start: start, End: end, Expires: rec.expires}, true
 }
@@ -152,7 +353,9 @@ func (l *Ledger) Renew(id string) (Claim, error) {
 	if !ok {
 		return Claim{}, fmt.Errorf("renewing claim %s: %w", id, ErrLeaseLost)
 	}
-	rec.expires = l.now().Add(l.lease)
+	expires := l.now().Add(l.lease)
+	l.logLocked(WALRecord{Op: opRenew, Claim: id, Expires: expires.UnixMilli()})
+	rec.expires = expires
 	return Claim{ID: id, Worker: rec.worker, Start: rec.start, End: rec.end, Expires: rec.expires}, nil
 }
 
@@ -176,7 +379,8 @@ func (l *Ledger) Owns(id string, index int) error {
 // CompleteIndex marks one index of a live claim done, after its result
 // bytes are durable. Completing an index twice under the same live
 // claim is idempotent; completing under a lost lease returns
-// ErrLeaseLost (the durable bytes still heal by cache probe).
+// ErrLeaseLost (the durable bytes still heal by cache probe); a
+// quarantined index can no longer be completed.
 func (l *Ledger) CompleteIndex(id string, index int) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -188,11 +392,47 @@ func (l *Ledger) CompleteIndex(id string, index int) error {
 	if index < rec.start || index >= rec.end {
 		return fmt.Errorf("claim %s does not cover index %d [%d,%d)", id, index, rec.start, rec.end)
 	}
+	if l.state[index] == idxQuarantined {
+		return fmt.Errorf("claim %s: index %d is quarantined", id, index)
+	}
 	if l.state[index] != idxDone {
+		l.logLocked(WALRecord{Op: opDone, Claim: id, Index: index})
 		l.state[index] = idxDone
 		l.doneCount++
 		l.checkDoneLocked()
 	}
+	return nil
+}
+
+// Fail reports that one index of a live claim failed to execute — the
+// worker survived and diagnosed the run rather than crashing with it.
+// The index returns to the pool for another attempt and is charged
+// against its quarantine budget. Failing under a lost lease returns
+// ErrLeaseLost.
+func (l *Ledger) Fail(id string, index int, reason string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.expireLocked()
+	rec, ok := l.claims[id]
+	if !ok {
+		return fmt.Errorf("failing index %d: claim %s: %w", index, id, ErrLeaseLost)
+	}
+	if index < rec.start || index >= rec.end {
+		return fmt.Errorf("claim %s does not cover index %d [%d,%d)", id, index, rec.start, rec.end)
+	}
+	if l.state[index] != idxLeased {
+		return nil // already done, failed, or quarantined — nothing to charge
+	}
+	if reason == "" {
+		reason = "worker reported failure"
+	}
+	reason = fmt.Sprintf("worker %q: %s", rec.worker, reason)
+	l.logLocked(WALRecord{Op: opFail, Claim: id, Index: index, Reason: reason})
+	l.state[index] = idxAvailable
+	if index < l.cursor {
+		l.cursor = index
+	}
+	l.bumpAttemptLocked(index, reason)
 	return nil
 }
 
@@ -207,6 +447,7 @@ func (l *Ledger) Complete(id string) error {
 	if !ok {
 		return fmt.Errorf("completing claim %s: %w", id, ErrLeaseLost)
 	}
+	l.logLocked(WALRecord{Op: opRelease, Claim: id, Reason: "completed"})
 	l.releaseLocked(rec)
 	delete(l.claims, id)
 	return nil
@@ -214,11 +455,13 @@ func (l *Ledger) Complete(id string) error {
 
 // Release abandons a claim explicitly (a worker shutting down cleanly),
 // returning its unfinished indices to the pool immediately instead of
-// waiting out the lease. Releasing a lost lease is a no-op.
+// waiting out the lease. A voluntary hand-back is not a failure: no
+// attempt is charged. Releasing a lost lease is a no-op.
 func (l *Ledger) Release(id string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if rec, ok := l.claims[id]; ok {
+		l.logLocked(WALRecord{Op: opRelease, Claim: id, Reason: "released"})
 		l.releaseLocked(rec)
 		delete(l.claims, id)
 	}
@@ -237,11 +480,21 @@ func (l *Ledger) releaseLocked(rec *claimRec) {
 }
 
 // expireLocked reaps every claim past its lease deadline, returning
-// unfinished indices to the pool and fencing the claim's ID forever.
+// unfinished indices to the pool, fencing the claim's ID forever, and
+// charging each unfinished index one attempt — a claimant that stopped
+// renewing is presumed dead, and a run that kills every claimant must
+// eventually quarantine instead of livelocking the fleet.
 func (l *Ledger) expireLocked() {
 	now := l.now()
 	for id, rec := range l.claims {
 		if now.After(rec.expires) {
+			reason := fmt.Sprintf("lease %s expired (worker %q stopped renewing)", id, rec.worker)
+			l.logLocked(WALRecord{Op: opFence, Claim: id, Reason: reason})
+			for i := rec.start; i < rec.end; i++ {
+				if l.state[i] == idxLeased {
+					l.bumpAttemptLocked(i, reason)
+				}
+			}
 			l.releaseLocked(rec)
 			delete(l.claims, id)
 		}
@@ -258,8 +511,21 @@ func (l *Ledger) checkDoneLocked() {
 // Done is closed once every index is complete.
 func (l *Ledger) Done() <-chan struct{} { return l.doneCh }
 
+// Fatal is closed when the sweep can never complete: an index was
+// quarantined (poisoned run) or the WAL became unwritable. FatalErr
+// carries the diagnosis.
+func (l *Ledger) Fatal() <-chan struct{} { return l.fatalCh }
+
+// FatalErr returns the sweep-killing diagnosis once Fatal is closed.
+func (l *Ledger) FatalErr() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.fatalErr
+}
+
 // Counts reports the ledger's index population: done, currently leased,
-// and available (expired leases are reaped first).
+// and available (expired leases are reaped first). Quarantined indices
+// are in none of the three buckets — they are no longer claimable.
 func (l *Ledger) Counts() (done, leased, available int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -270,9 +536,80 @@ func (l *Ledger) Counts() (done, leased, available int) {
 			done++
 		case idxLeased:
 			leased++
-		default:
+		case idxAvailable:
 			available++
 		}
 	}
 	return done, leased, available
+}
+
+// ClaimView is one live claim in a ledger snapshot.
+type ClaimView struct {
+	ID      string    `json:"id"`
+	Worker  string    `json:"worker"`
+	Start   int       `json:"start"`
+	End     int       `json:"end"`
+	Expires time.Time `json:"expires"`
+}
+
+// IndexView is one troubled index (failed attempts or quarantined) in a
+// ledger snapshot.
+type IndexView struct {
+	Index       int    `json:"index"`
+	State       string `json:"state"`
+	Attempts    int    `json:"attempts"`
+	LastFailure string `json:"last_failure,omitempty"`
+}
+
+// LedgerView is a point-in-time snapshot of the ledger for debugging a
+// stuck or failing distributed job, served by GET /v1/jobs/{id}/claims.
+type LedgerView struct {
+	Runs        int         `json:"runs"`
+	Done        int         `json:"done"`
+	Leased      int         `json:"leased"`
+	Available   int         `json:"available"`
+	Quarantined int         `json:"quarantined"`
+	MaxAttempts int         `json:"max_attempts"`
+	Fenced      int         `json:"fenced_claims"` // claim IDs issued and no longer live
+	Claims      []ClaimView `json:"claims"`
+	Troubled    []IndexView `json:"troubled,omitempty"`
+}
+
+var stateNames = [...]string{"available", "leased", "done", "quarantined"}
+
+// View snapshots the ledger (expired leases are reaped first): index
+// population, every live claim with owner and lease deadline, and every
+// index carrying failed attempts.
+func (l *Ledger) View() LedgerView {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.expireLocked()
+	v := LedgerView{
+		Runs:        len(l.state),
+		MaxAttempts: l.maxAttempts,
+		Claims:      make([]ClaimView, 0, len(l.claims)),
+	}
+	for _, st := range l.state {
+		switch st {
+		case idxDone:
+			v.Done++
+		case idxLeased:
+			v.Leased++
+		case idxAvailable:
+			v.Available++
+		case idxQuarantined:
+			v.Quarantined++
+		}
+	}
+	for id, rec := range l.claims {
+		v.Claims = append(v.Claims, ClaimView{ID: id, Worker: rec.worker, Start: rec.start, End: rec.end, Expires: rec.expires})
+	}
+	sort.Slice(v.Claims, func(i, j int) bool { return v.Claims[i].ID < v.Claims[j].ID })
+	v.Fenced = l.nextID - len(l.claims)
+	for i, n := range l.attempts {
+		if n > 0 || l.state[i] == idxQuarantined {
+			v.Troubled = append(v.Troubled, IndexView{Index: i, State: stateNames[l.state[i]], Attempts: n, LastFailure: l.lastFail[i]})
+		}
+	}
+	return v
 }

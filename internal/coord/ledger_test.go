@@ -3,6 +3,7 @@ package coord
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -221,6 +222,87 @@ func TestReleaseReturnsIndicesImmediately(t *testing.T) {
 	l.Release(cl.ID) // idempotent
 }
 
+// TestLeaseExpiryQuarantinesAfterBudget: a run that kills every
+// claimant (they stop renewing) is charged one attempt per expiry and
+// quarantined at the budget, turning the ledger fatal with a per-index
+// diagnosis instead of livelocking the fleet.
+func TestLeaseExpiryQuarantinesAfterBudget(t *testing.T) {
+	l, clk := newTestLedger(3, time.Second)
+	l.SetMaxAttempts(3)
+	for i := 0; i < 3; i++ {
+		cl, ok := l.Claim("crasher", 1)
+		if !ok {
+			t.Fatalf("claim %d refused", i)
+		}
+		if cl.Start != 0 {
+			t.Fatalf("claim %d got [%d,%d), want the poisoned index 0", i, cl.Start, cl.End)
+		}
+		clk.Advance(2 * time.Second) // claimant dies; lease expires
+	}
+	l.Counts() // reap the third expiry
+	select {
+	case <-l.Fatal():
+	default:
+		t.Fatal("ledger not fatal after 3 expired attempts with budget 3")
+	}
+	err := l.FatalErr()
+	for _, want := range []string{"poisoned", "run 0", "3 failed attempts", "stopped renewing"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("diagnosis %q missing %q", err, want)
+		}
+	}
+	if _, ok := l.Claim("w", 1); ok {
+		t.Fatal("fatal ledger handed out work")
+	}
+}
+
+// TestVoluntaryReleaseChargesNoAttempt: handing a range back cleanly is
+// not a failure — only expiries and reported failures count toward
+// quarantine.
+func TestVoluntaryReleaseChargesNoAttempt(t *testing.T) {
+	l, _ := newTestLedger(2, time.Minute)
+	l.SetMaxAttempts(1)
+	cl, _ := l.Claim("w", 2)
+	l.Release(cl.ID)
+	select {
+	case <-l.Fatal():
+		t.Fatal("voluntary release charged an attempt")
+	default:
+	}
+	if v := l.View(); len(v.Troubled) != 0 {
+		t.Fatalf("troubled after release: %+v", v.Troubled)
+	}
+	if _, ok := l.Claim("w2", 2); !ok {
+		t.Fatal("released range not reclaimable")
+	}
+}
+
+// TestViewSnapshotsClaimsAndTrouble exercises the GET claims payload:
+// population counts, live claims with owners, the fenced-ID count, and
+// per-index attempt diagnostics.
+func TestViewSnapshotsClaimsAndTrouble(t *testing.T) {
+	l, clk := newTestLedger(4, time.Second)
+	cl, _ := l.Claim("w1", 2)
+	if err := l.CompleteIndex(cl.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(2 * time.Second) // w1 dies; index 1 charged on next reap
+	cl2, _ := l.Claim("w2", 1)
+	v := l.View()
+	if v.Runs != 4 || v.Done != 1 || v.Leased != 1 || v.Available != 2 || v.Quarantined != 0 {
+		t.Fatalf("view counts %+v", v)
+	}
+	if len(v.Claims) != 1 || v.Claims[0].ID != cl2.ID || v.Claims[0].Worker != "w2" {
+		t.Fatalf("view claims %+v", v.Claims)
+	}
+	if v.Fenced != 1 {
+		t.Fatalf("fenced %d, want 1 (the expired claim)", v.Fenced)
+	}
+	if len(v.Troubled) != 1 || v.Troubled[0].Index != 1 || v.Troubled[0].Attempts != 1 {
+		t.Fatalf("troubled %+v", v.Troubled)
+	}
+}
+
 // TestConcurrentClaimStorm hammers the ledger from many goroutines with
 // interleaved claims, completions, abandons, and clock advances; run
 // under -race this is the ledger's data-race probe, and the invariant
@@ -229,6 +311,9 @@ func TestReleaseReturnsIndicesImmediately(t *testing.T) {
 func TestConcurrentClaimStorm(t *testing.T) {
 	const n = 500
 	l, clk := newTestLedger(n, 30*time.Millisecond)
+	// Abandons here are chaos, not poison: disarm the quarantine budget
+	// so the storm always converges to full completion.
+	l.SetMaxAttempts(1 << 30)
 	var completions atomic.Int64
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {

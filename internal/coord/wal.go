@@ -1,0 +1,138 @@
+package coord
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// The ledger's write-ahead log. Every claim-state transition is
+// appended as one fsynced NDJSON record before it is applied, so a
+// coordinator restarted over the same store replays the file and
+// resumes the sweep with live leases, permanent claim-ID fences,
+// per-index attempt counts, and quarantine verdicts intact. The replay
+// discipline mirrors internal/jobstore: a record is durable only once
+// its trailing newline is on disk, a torn final line is dropped and
+// truncated so the next append starts clean, and a malformed line with
+// durable successors fails loudly as corruption.
+
+// WAL record operations.
+const (
+	opClaim      = "claim"      // a range was leased: Claim, Worker, Start, End, Expires
+	opRenew      = "renew"      // a lease was extended: Claim, Expires
+	opDone       = "done"       // one index completed under a claim: Claim, Index
+	opRelease    = "release"    // a claim retired voluntarily; unfinished indices returned
+	opFence      = "fence"      // a lease expired; unfinished indices returned, attempts bumped
+	opFail       = "fail"       // a worker reported one index failed: Claim, Index, Reason
+	opQuarantine = "quarantine" // an index hit the attempt budget: Index, Attempts, Reason
+)
+
+// WALRecord is one ledger transition on disk. Which fields are
+// meaningful depends on Op (see the op constants); zero values of the
+// others are omitted.
+type WALRecord struct {
+	Op       string `json:"op"`
+	Claim    string `json:"claim,omitempty"`
+	Worker   string `json:"worker,omitempty"`
+	Start    int    `json:"start,omitempty"`
+	End      int    `json:"end,omitempty"`
+	Index    int    `json:"index,omitempty"`
+	Expires  int64  `json:"expires_ms,omitempty"` // lease deadline, unix milliseconds
+	Attempts int    `json:"attempts,omitempty"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// WAL is an append-only, fsynced NDJSON file of ledger transitions.
+// Appends are serialized by the ledger's mutex; the WAL itself adds no
+// locking.
+type WAL struct {
+	path string
+	f    *os.File
+}
+
+// OpenWAL reads the WAL at path — tolerating a torn final line, which
+// is truncated, and failing loudly on mid-file corruption — and opens
+// it for appending. A missing file yields an empty record slice and a
+// fresh WAL.
+func OpenWAL(path string) (*WAL, []WALRecord, error) {
+	recs, err := readWAL(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("coord: wal: %w", err)
+	}
+	return &WAL{path: path, f: f}, recs, nil
+}
+
+func readWAL(path string) ([]WALRecord, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("coord: wal: %w", err)
+	}
+	var recs []WALRecord
+	good := 0 // byte offset just past the last durable line
+	var pendingErr error
+	for pos := 0; pos < len(raw); {
+		nl := bytes.IndexByte(raw[pos:], '\n')
+		if nl < 0 {
+			break // newline-less tail: torn by definition
+		}
+		line := raw[pos : pos+nl]
+		pos += nl + 1
+		if len(bytes.TrimSpace(line)) == 0 {
+			good = pos
+			continue
+		}
+		if pendingErr != nil {
+			return nil, fmt.Errorf("coord: wal %s: corrupt mid-file record: %w", path, pendingErr)
+		}
+		var rec WALRecord
+		err := json.Unmarshal(line, &rec)
+		if err == nil && rec.Op == "" {
+			err = fmt.Errorf("record has no op")
+		}
+		if err != nil {
+			pendingErr = err // torn write if this turns out to be the tail
+			continue
+		}
+		recs = append(recs, rec)
+		good = pos
+	}
+	if good < len(raw) {
+		if err := os.Truncate(path, int64(good)); err != nil {
+			return nil, fmt.Errorf("coord: wal: truncating torn tail: %w", err)
+		}
+	}
+	return recs, nil
+}
+
+// Append durably writes one record: marshal, write with newline, fsync.
+// The record is the transition's durability point — the ledger applies
+// a transition only after its record is on disk.
+func (w *WAL) Append(rec WALRecord) error {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("coord: wal: %w", err)
+	}
+	if _, err := w.f.Write(append(raw, '\n')); err != nil {
+		return fmt.Errorf("coord: wal: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("coord: wal: %w", err)
+	}
+	return nil
+}
+
+// Close releases the append handle. Safe on a nil WAL.
+func (w *WAL) Close() error {
+	if w == nil || w.f == nil {
+		return nil
+	}
+	return w.f.Close()
+}

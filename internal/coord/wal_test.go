@@ -1,0 +1,214 @@
+package coord
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// walLedger builds a WAL-backed ledger at path, replaying whatever the
+// file already holds.
+func walLedger(t *testing.T, path string, n int, lease time.Duration, clk *fakeClock) *Ledger {
+	t.Helper()
+	wal, recs, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { wal.Close() })
+	l := NewLedger(n, lease)
+	l.SetClock(clk.Now)
+	if err := l.Recover(wal, recs); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestWALReplayResumesMidFlightSweep is the restart scenario end to
+// end: a coordinator with live leases, completed indices, and a fenced
+// zombie dies; the replayed ledger carries all three forward — the live
+// lease keeps working, the done indices are never re-issued, and the
+// zombie stays fenced.
+func TestWALReplayResumesMidFlightSweep(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "claims.ndjson")
+	clk := newFakeClock()
+
+	l1 := walLedger(t, path, 10, time.Minute, clk)
+	zombie, ok := l1.Claim("zombie", 3) // [0,3)
+	if !ok {
+		t.Fatal("no claim")
+	}
+	if err := l1.CompleteIndex(zombie.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	live, ok := l1.Claim("live", 3) // [3,6)
+	if !ok {
+		t.Fatal("no claim")
+	}
+	if err := l1.CompleteIndex(live.ID, 3); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(90 * time.Second) // zombie AND live both past their lease
+	if _, err := l1.Renew(live.ID); err == nil {
+		t.Fatal("renew after expiry should fence")
+	}
+	// live re-claims and keeps renewing; zombie stays dead.
+	live2, ok := l1.Claim("live", 3) // [1,2] + ... first available run
+	if !ok {
+		t.Fatal("no re-claim")
+	}
+
+	// The coordinator dies here. A new process replays the WAL.
+	l2 := walLedger(t, path, 10, time.Minute, clk)
+
+	done, leased, avail := l2.Counts()
+	if done != 2 || leased != live2.End-live2.Start || avail != 8-leased {
+		t.Fatalf("replayed counts done=%d leased=%d avail=%d", done, leased, avail)
+	}
+	// The pre-restart zombie is still fenced.
+	if _, err := l2.Renew(zombie.ID); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("zombie renew after replay: %v, want ErrLeaseLost", err)
+	}
+	if err := l2.CompleteIndex(zombie.ID, 1); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("zombie publish after replay: %v, want ErrLeaseLost", err)
+	}
+	// The live claim's lease survived the restart.
+	if err := l2.CompleteIndex(live2.ID, live2.Start); err != nil {
+		t.Fatalf("live claim lost across restart: %v", err)
+	}
+	// Claim IDs are never reissued: a fresh claim must not collide with
+	// any pre-restart ID.
+	fresh, ok := l2.Claim("w", 2)
+	if !ok {
+		t.Fatal("no claim on replayed ledger")
+	}
+	for _, old := range []string{zombie.ID, live.ID, live2.ID} {
+		if fresh.ID == old {
+			t.Fatalf("replayed ledger reissued claim ID %s", old)
+		}
+	}
+}
+
+// TestWALTornTailTolerated: a crash mid-append leaves a partial final
+// line. Replay drops it, truncates the file, and subsequent appends
+// produce a log a third open reads cleanly.
+func TestWALTornTailTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "claims.ndjson")
+	clk := newFakeClock()
+
+	l1 := walLedger(t, path, 4, time.Minute, clk)
+	cl, _ := l1.Claim("w", 2)
+	if err := l1.CompleteIndex(cl.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail: a torn record and no newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"done","claim":"` + cl.ID + `","ind`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2 := walLedger(t, path, 4, time.Minute, clk)
+	done, leased, _ := l2.Counts()
+	if done != 1 || leased != 1 {
+		t.Fatalf("after torn tail: done=%d leased=%d, want 1/1", done, leased)
+	}
+	// Appends after the truncation must not fuse with the dropped tail.
+	if err := l2.CompleteIndex(cl.ID, 1); err != nil {
+		t.Fatal(err)
+	}
+	l3 := walLedger(t, path, 4, time.Minute, clk)
+	if done, _, _ := l3.Counts(); done != 2 {
+		t.Fatalf("third replay: done=%d, want 2", done)
+	}
+}
+
+// TestWALMidFileCorruptionFailsLoudly: a malformed line with durable
+// successors is not a torn tail — it is corruption, and replay must
+// refuse rather than silently skip transitions.
+func TestWALMidFileCorruptionFailsLoudly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "claims.ndjson")
+	clk := newFakeClock()
+	l1 := walLedger(t, path, 4, time.Minute, clk)
+	cl, _ := l1.Claim("w", 2)
+	_ = l1.CompleteIndex(cl.ID, 0)
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(raw), "\n")
+	lines[0] = "{torn garbage\n"
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenWAL(path); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("mid-file corruption: err = %v, want corrupt-record failure", err)
+	}
+}
+
+// TestWALQuarantineSurvivesRestart: a poison verdict is durable — the
+// replayed ledger is immediately fatal with the same per-index
+// diagnosis, and hands out no work.
+func TestWALQuarantineSurvivesRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "claims.ndjson")
+	clk := newFakeClock()
+
+	l1 := walLedger(t, path, 3, time.Second, clk)
+	l1.SetMaxAttempts(2)
+	cl, _ := l1.Claim("crasher", 1)
+	if err := l1.Fail(cl.ID, 0, "panic: bad scenario"); err != nil {
+		t.Fatal(err)
+	}
+	cl2, _ := l1.Claim("crasher", 1)
+	if err := l1.Fail(cl2.ID, 0, "panic: bad scenario"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-l1.Fatal():
+	default:
+		t.Fatal("ledger not fatal after exhausting the attempt budget")
+	}
+
+	l2 := walLedger(t, path, 3, time.Second, clk)
+	select {
+	case <-l2.Fatal():
+	default:
+		t.Fatal("replayed ledger lost the poison verdict")
+	}
+	err := l2.FatalErr()
+	for _, want := range []string{"poisoned", "run 0", "2 failed attempts", "panic: bad scenario"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("diagnosis %q missing %q", err, want)
+		}
+	}
+	if _, ok := l2.Claim("w", 1); ok {
+		t.Fatal("fatal ledger handed out work")
+	}
+}
+
+// TestWALGeometryMismatchFailsLoudly: a WAL referencing indices outside
+// the ledger's run count belongs to a different sweep and must not
+// replay.
+func TestWALGeometryMismatchFailsLoudly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "claims.ndjson")
+	clk := newFakeClock()
+	l1 := walLedger(t, path, 8, time.Minute, clk)
+	l1.Claim("w", 8)
+
+	wal, recs, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal.Close()
+	small := NewLedger(4, time.Minute)
+	if err := small.Recover(wal, recs); err == nil {
+		t.Fatal("replaying an 8-run WAL into a 4-run ledger should fail")
+	}
+}

@@ -36,6 +36,15 @@ type ClaimResponse struct {
 	RunsTotal int             `json:"runs_total"`
 }
 
+// FailRequest is the body of POST /v1/jobs/{id}/runs/{index}/failed: a
+// worker reporting that one run index failed inside the engine. The
+// coordinator charges the index's attempt budget immediately instead of
+// waiting for the lease to expire, so a deterministically poisoned run
+// reaches quarantine — and the job a loud failure — quickly.
+type FailRequest struct {
+	Reason string `json:"reason"`
+}
+
 // WorkList is the body of GET /v1/work: the jobs that currently have
 // claimable indices.
 type WorkList struct {

@@ -1,11 +1,10 @@
 package coord
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"sync"
 	"time"
@@ -31,7 +30,12 @@ type Worker struct {
 	// Poll is the idle/backoff sleep between work checks (0 selects
 	// 250ms).
 	Poll time.Duration
-	// Client is the HTTP client (nil selects http.DefaultClient).
+	// Retry shapes the transport's per-attempt deadlines and backoff;
+	// the zero value selects sane defaults (see RetryPolicy).
+	Retry RetryPolicy
+	// Client is the HTTP client (nil selects a shared default with
+	// dial and handshake timeouts — never the deadline-free
+	// http.DefaultClient).
 	Client *http.Client
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
@@ -46,7 +50,7 @@ func (w *Worker) client() *http.Client {
 	if w.Client != nil {
 		return w.Client
 	}
-	return http.DefaultClient
+	return defaultHTTPClient
 }
 
 func (w *Worker) logf(format string, args ...any) {
@@ -91,19 +95,17 @@ func (w *Worker) Run(ctx context.Context) error {
 // engine version: result content addresses include the version, so a
 // mismatched worker could only compute bytes the job would never merge.
 func (w *Worker) CheckVersion(ctx context.Context) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.Base+"/v1/version", nil)
-	if err != nil {
-		return err
-	}
-	resp, err := w.client().Do(req)
+	status, data, err := w.roundTrip(ctx, http.MethodGet, "/v1/version", nil, 0)
 	if err != nil {
 		return fmt.Errorf("coord: version check: %w", err)
 	}
-	defer resp.Body.Close()
+	if status != http.StatusOK {
+		return fmt.Errorf("coord: version check: status %d: %s", status, clip(data))
+	}
 	var v struct {
 		EngineVersion string `json:"engine_version"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+	if err := json.Unmarshal(data, &v); err != nil {
 		return fmt.Errorf("coord: version check: %w", err)
 	}
 	if v.EngineVersion != sim.Version {
@@ -134,19 +136,14 @@ func (w *Worker) Step(ctx context.Context) (bool, error) {
 }
 
 func (w *Worker) getJSON(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.Base+path, nil)
+	status, data, err := w.roundTrip(ctx, http.MethodGet, path, nil, 0)
 	if err != nil {
 		return err
 	}
-	resp, err := w.client().Do(req)
-	if err != nil {
-		return err
+	if status != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", path, status)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return json.Unmarshal(data, out)
 }
 
 // claim asks one job for a leased range. ok is false when the job has
@@ -156,28 +153,21 @@ func (w *Worker) claim(ctx context.Context, job string) (*ClaimResponse, bool, e
 	if err != nil {
 		return nil, false, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Base+"/v1/jobs/"+job+"/claims", bytes.NewReader(body))
+	status, data, err := w.roundTrip(ctx, http.MethodPost, "/v1/jobs/"+job+"/claims", body, 0)
 	if err != nil {
 		return nil, false, err
 	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := w.client().Do(req)
-	if err != nil {
-		return nil, false, err
-	}
-	defer resp.Body.Close()
-	switch resp.StatusCode {
+	switch status {
 	case http.StatusOK:
 		var cl ClaimResponse
-		if err := json.NewDecoder(resp.Body).Decode(&cl); err != nil {
+		if err := json.Unmarshal(data, &cl); err != nil {
 			return nil, false, err
 		}
 		return &cl, true, nil
 	case http.StatusNoContent, http.StatusNotFound, http.StatusConflict, http.StatusGone:
 		return nil, false, nil
 	default:
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, false, fmt.Errorf("claim %s: status %d: %s", job, resp.StatusCode, msg)
+		return nil, false, fmt.Errorf("claim %s: status %d: %s", job, status, clip(data))
 	}
 }
 
@@ -285,9 +275,11 @@ func (w *Worker) sweepWorkers() int {
 	return 1
 }
 
-// renew extends the claim's lease.
+// renew extends the claim's lease. Retries run under the lease-derived
+// budget: a renew that cannot land before twice the lease has elapsed
+// is a lease already lost.
 func (w *Worker) renew(ctx context.Context, cl *ClaimResponse) error {
-	status, _, err := w.post(ctx, "/v1/jobs/"+cl.Job+"/claims/"+cl.ClaimID+"/renew", nil)
+	status, _, err := w.roundTrip(ctx, http.MethodPost, "/v1/jobs/"+cl.Job+"/claims/"+cl.ClaimID+"/renew", nil, w.leaseBudget(cl))
 	if err != nil {
 		return err
 	}
@@ -302,7 +294,7 @@ func (w *Worker) renew(ctx context.Context, cl *ClaimResponse) error {
 
 // complete retires the claim.
 func (w *Worker) complete(ctx context.Context, cl *ClaimResponse) error {
-	status, _, err := w.post(ctx, "/v1/jobs/"+cl.Job+"/claims/"+cl.ClaimID+"/complete", nil)
+	status, _, err := w.roundTrip(ctx, http.MethodPost, "/v1/jobs/"+cl.Job+"/claims/"+cl.ClaimID+"/complete", nil, w.leaseBudget(cl))
 	if err != nil {
 		return err
 	}
@@ -315,7 +307,7 @@ func (w *Worker) complete(ctx context.Context, cl *ClaimResponse) error {
 // publishRun sends one run's result bytes to the server, which persists
 // them (cache + checkpoint) and marks the index done under our claim.
 func (w *Worker) publishRun(ctx context.Context, cl *ClaimResponse, index int, data []byte) error {
-	status, msg, err := w.post(ctx, fmt.Sprintf("/v1/jobs/%s/runs/%d?claim=%s", cl.Job, index, cl.ClaimID), data)
+	status, msg, err := w.roundTrip(ctx, http.MethodPost, fmt.Sprintf("/v1/jobs/%s/runs/%d?claim=%s", cl.Job, index, cl.ClaimID), data, w.leaseBudget(cl))
 	if err != nil {
 		return err
 	}
@@ -325,25 +317,27 @@ func (w *Worker) publishRun(ctx context.Context, cl *ClaimResponse, index int, d
 	case http.StatusGone:
 		return fmt.Errorf("publishing index %d: %w", index, ErrLeaseLost)
 	default:
-		return fmt.Errorf("publishing index %d: status %d: %s", index, status, msg)
+		return fmt.Errorf("publishing index %d: status %d: %s", index, status, clip(msg))
 	}
 }
 
-func (w *Worker) post(ctx context.Context, path string, body []byte) (int, string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Base+path, bytes.NewReader(body))
+// reportFailure tells the coordinator one run index failed in the
+// engine, so the index's attempt budget is charged now instead of when
+// the lease expires. Best-effort: a report that cannot land changes
+// nothing — the lease expiring charges the attempt anyway.
+func (w *Worker) reportFailure(ctx context.Context, cl *ClaimResponse, index int, reason string) {
+	body, err := json.Marshal(FailRequest{Reason: reason})
 	if err != nil {
-		return 0, "", err
+		return
 	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := w.client().Do(req)
+	status, msg, err := w.roundTrip(ctx, http.MethodPost, fmt.Sprintf("/v1/jobs/%s/runs/%d/failed?claim=%s", cl.Job, index, cl.ClaimID), body, w.leaseBudget(cl))
 	if err != nil {
-		return 0, "", err
+		w.logf("claim %s: reporting index %d failure: %v", cl.ClaimID, index, err)
+		return
 	}
-	defer resp.Body.Close()
-	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-	return resp.StatusCode, string(msg), nil
+	if status != http.StatusOK && status != http.StatusGone {
+		w.logf("claim %s: reporting index %d failure: status %d: %s", cl.ClaimID, index, status, clip(msg))
+	}
 }
 
 // publisher is the sweep observer that streams finished runs to the
@@ -364,7 +358,19 @@ func (p *publisher) RunStarted(sim.RunInfo)                {}
 func (p *publisher) RunProgress(sim.RunInfo, sim.Progress) {}
 
 func (p *publisher) RunFinished(info sim.RunInfo, out sim.Outcome) {
-	if out.Err != nil || out.Result == nil || out.Skipped {
+	if out.Skipped {
+		return
+	}
+	if out.Err != nil {
+		// A run the engine itself failed is reported so the coordinator
+		// charges the index's attempt budget immediately; a run canceled
+		// by our own shutdown or a lost lease is not the index's fault.
+		if !errors.Is(out.Err, context.Canceled) {
+			p.w.reportFailure(context.Background(), p.cl, info.Index, out.Err.Error())
+		}
+		return
+	}
+	if out.Result == nil {
 		return
 	}
 	if hook := p.w.BeforePublish; hook != nil {

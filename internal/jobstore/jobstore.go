@@ -22,6 +22,7 @@
 package jobstore
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -164,6 +165,11 @@ func Open(dir string) (*Store, error) {
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
+// JobDir returns the directory holding one job's durable records —
+// spec, transition log, run checkpoints, result document, and (for
+// distributed jobs) the coordinator's claim-ledger WAL.
+func (s *Store) JobDir(id string) string { return s.jobDir(id) }
+
 func (s *Store) jobDir(id string) string { return filepath.Join(s.dir, "jobs", id) }
 
 // replay reconstructs one job from its on-disk records.
@@ -211,25 +217,43 @@ func (s *Store) replay(id string) (*job, error) {
 }
 
 // readNDJSON feeds each complete line of an append-only NDJSON file to
-// fn. A final line that fails to parse is treated as a torn write and
-// ignored; a malformed line with durable successors is real corruption
-// and aborts the replay. A missing file yields os.ErrNotExist.
+// fn. A record is durable only once its trailing newline is on disk: a
+// final line that is missing its newline or fails to parse is a torn
+// write — it is dropped AND truncated from the file, so the next append
+// starts on a clean line boundary instead of fusing with the partial
+// record (which would read as mid-file corruption one restart later). A
+// malformed line with durable successors is real corruption and aborts
+// the replay. A missing file yields os.ErrNotExist.
 func readNDJSON(path string, fn func(line []byte) error) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	lines := strings.Split(string(raw), "\n")
+	good := 0 // byte offset just past the last durable line
 	var pendingErr error
-	for _, line := range lines {
-		if strings.TrimSpace(line) == "" {
+	for pos := 0; pos < len(raw); {
+		nl := bytes.IndexByte(raw[pos:], '\n')
+		if nl < 0 {
+			break // newline-less tail: torn by definition
+		}
+		line := raw[pos : pos+nl]
+		pos += nl + 1
+		if len(strings.TrimSpace(string(line))) == 0 {
+			good = pos
 			continue
 		}
 		if pendingErr != nil {
 			return pendingErr // a malformed line had successors: corruption
 		}
-		if err := fn([]byte(line)); err != nil {
+		if err := fn(line); err != nil {
 			pendingErr = err // torn write if this turns out to be the tail
+			continue
+		}
+		good = pos
+	}
+	if good < len(raw) {
+		if err := os.Truncate(path, int64(good)); err != nil {
+			return fmt.Errorf("truncating torn tail: %w", err)
 		}
 	}
 	return nil

@@ -175,6 +175,59 @@ func TestCrashRecoveryTruncatedLog(t *testing.T) {
 	}
 }
 
+// TestAppendAfterTornTailStaysClean pins the tail-repair contract: a
+// torn final line must be truncated on replay, so the next append lands
+// on a clean line boundary. Without the repair, the new record fuses
+// with the partial one and the SECOND reopen reads it as mid-file
+// corruption — a resumable store that silently becomes unrecoverable
+// one restart later.
+func TestAppendAfterTornTailStaysClean(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.Create(json.RawMessage(`{"runs":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Transition(j.ID, Running, "picked up"); err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(dir, "jobs", j.ID, "log.ndjson")
+	raw, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash mid-append: partial JSON, no trailing newline.
+	if err := os.WriteFile(logPath, append(raw, []byte(`{"seq":3,"ti`)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Transition(j.ID, Queued, "recovered"); err != nil {
+		t.Fatal(err)
+	}
+	// The restart after the restart: the log must still replay cleanly.
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatalf("second reopen after post-torn append: %v", err)
+	}
+	got, ok := s3.Get(j.ID)
+	if !ok {
+		t.Fatal("job lost")
+	}
+	if got.State != Queued {
+		t.Errorf("state %q, want queued", got.State)
+	}
+	if got.Events[len(got.Events)-1].Seq != 3 {
+		t.Errorf("last seq %d, want 3", got.Events[len(got.Events)-1].Seq)
+	}
+}
+
 // TestMidFileCorruptionFails distinguishes a torn tail (recoverable)
 // from corruption with durable successors (not recoverable silently).
 func TestMidFileCorruptionFails(t *testing.T) {

@@ -1,6 +1,7 @@
 package simsrv
 
 import (
+	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
@@ -8,6 +9,7 @@ import (
 	"strconv"
 
 	"repro/internal/coord"
+	"repro/internal/jobstore"
 	"repro/sim"
 )
 
@@ -20,6 +22,30 @@ func (s *Server) dist(id string) *distJob {
 	s.cmu.Lock()
 	defer s.cmu.Unlock()
 	return s.coords[id]
+}
+
+// noCoordinator writes the verdict for a claim-scoped request that
+// found no coordinator serving the job. The distinction matters to
+// retrying workers: 503 means the job is merely between processes — a
+// restarted simd has requeued it but the dispatcher has not yet
+// reopened its ledger — so the worker's transport should retry under
+// its lease budget; 410 means the job is truly finished with claims
+// (terminal, or never distributed) and the claim must be abandoned.
+func (s *Server) noCoordinator(w http.ResponseWriter, id string) {
+	j, ok := s.store.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	var sp JobSpec
+	if err := json.Unmarshal(j.Spec, &sp); err == nil && sp.Normalize().Distributed {
+		switch j.State {
+		case jobstore.Queued, jobstore.Running:
+			writeError(w, http.StatusServiceUnavailable, "job %s: coordinator warming up, retry", id)
+			return
+		}
+	}
+	writeError(w, http.StatusGone, "job %s is not accepting claims", id)
 }
 
 // handleWork lists the jobs with claimable indices right now, sorted
@@ -87,13 +113,14 @@ func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleClaimRenew extends a live claim's lease: 200, or 410 once the
-// lease is lost (expired, completed, job no longer accepting claims).
+// handleClaimRenew extends a live claim's lease: 200; 503 while the
+// coordinator is between processes (retry); 410 once the lease is lost
+// (expired, completed, job terminally done with claims).
 func (s *Server) handleClaimRenew(w http.ResponseWriter, r *http.Request) {
 	id, claim := r.PathValue("id"), r.PathValue("claim")
 	d := s.dist(id)
 	if d == nil {
-		writeError(w, http.StatusGone, "job %s is not accepting claims", id)
+		s.noCoordinator(w, id)
 		return
 	}
 	cl, err := d.ledger.Renew(claim)
@@ -114,7 +141,7 @@ func (s *Server) handleClaimComplete(w http.ResponseWriter, r *http.Request) {
 	id, claim := r.PathValue("id"), r.PathValue("claim")
 	d := s.dist(id)
 	if d == nil {
-		writeError(w, http.StatusGone, "job %s is not accepting claims", id)
+		s.noCoordinator(w, id)
 		return
 	}
 	if err := d.ledger.Complete(claim); err != nil {
@@ -139,7 +166,7 @@ func (s *Server) handlePublishRun(w http.ResponseWriter, r *http.Request) {
 	}
 	d := s.dist(id)
 	if d == nil {
-		writeError(w, http.StatusGone, "job %s is not accepting claims", id)
+		s.noCoordinator(w, id)
 		return
 	}
 	if err := d.ledger.Owns(claim, index); err != nil {
@@ -178,4 +205,52 @@ func (s *Server) handlePublishRun(w http.ResponseWriter, r *http.Request) {
 	idx := index
 	s.publishEvent(id, d.a, event{Type: "run_finished", Index: &idx, Completed: done, Total: d.spec.Runs})
 	writeJSON(w, http.StatusOK, map[string]any{"status": "recorded", "runs_completed": done})
+}
+
+// handleRunFailed accepts a worker's report that one run index failed
+// inside the engine. The index returns to the pool and is charged one
+// attempt toward its quarantine budget — reaching it fails the job
+// loudly with the reported reason in the diagnosis. 410 fences zombie
+// claims, exactly like a publish.
+func (s *Server) handleRunFailed(w http.ResponseWriter, r *http.Request) {
+	id, claim := r.PathValue("id"), r.URL.Query().Get("claim")
+	index, err := strconv.Atoi(r.PathValue("index"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad run index %q", r.PathValue("index"))
+		return
+	}
+	var req coord.FailRequest
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding failure report: %v", err)
+		return
+	}
+	d := s.dist(id)
+	if d == nil {
+		s.noCoordinator(w, id)
+		return
+	}
+	if err := d.ledger.Fail(claim, index, req.Reason); err != nil {
+		status := http.StatusConflict
+		if errors.Is(err, coord.ErrLeaseLost) {
+			status = http.StatusGone
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	s.logf("%s: run %d failed under claim %s: %s", id, index, claim, req.Reason)
+	writeJSON(w, http.StatusOK, map[string]string{"status": "recorded"})
+}
+
+// handleClaims serves the coordinator's live claim-ledger snapshot for
+// one distributed job: index population, every live claim with owner
+// and lease deadline, and every index carrying failed attempts — the
+// first place to look when a distributed sweep is stuck or dying.
+func (s *Server) handleClaims(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	d := s.dist(id)
+	if d == nil {
+		s.noCoordinator(w, id)
+		return
+	}
+	writeJSON(w, http.StatusOK, d.ledger.View())
 }

@@ -71,9 +71,11 @@ func (s *Server) Handler() http.Handler {
 	// The distributed-sweep claim surface (see internal/coord).
 	mux.HandleFunc("GET /v1/work", s.handleWork)
 	mux.HandleFunc("POST /v1/jobs/{id}/claims", s.handleClaim)
+	mux.HandleFunc("GET /v1/jobs/{id}/claims", s.handleClaims)
 	mux.HandleFunc("POST /v1/jobs/{id}/claims/{claim}/renew", s.handleClaimRenew)
 	mux.HandleFunc("POST /v1/jobs/{id}/claims/{claim}/complete", s.handleClaimComplete)
 	mux.HandleFunc("POST /v1/jobs/{id}/runs/{index}", s.handlePublishRun)
+	mux.HandleFunc("POST /v1/jobs/{id}/runs/{index}/failed", s.handleRunFailed)
 	return mux
 }
 

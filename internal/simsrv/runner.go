@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -137,16 +138,35 @@ func (s *Server) execute(ctx context.Context, id string, a *activeJob) error {
 }
 
 // executeDistributed serves one distributed job: instead of running the
-// sweep locally, it opens a claim ledger over the index space (indices
-// already durable are pre-marked done) and registers it with the HTTP
-// claim surface, then waits for workers to publish every index — or for
-// cancellation/drain, which unregisters the ledger so outstanding
-// claims are fenced (their publishes get 410) and the job takes its
-// normal requeue/cancel transition with everything already published
-// still durable. On completion the report is merged exclusively from
-// cache bytes, exactly like a local run.
+// sweep locally, it opens a claim ledger over the index space — durably
+// backed by the job's write-ahead log, so a restarted coordinator
+// resumes mid-flight with live leases, permanent claim-ID fences, and
+// per-index attempt counts intact — marks indices already durable as
+// done, and registers the ledger with the HTTP claim surface. It then
+// waits for workers to publish every index; for the ledger turning
+// fatal (a quarantined run or an unwritable WAL), which fails the job
+// loudly with the diagnosis; or for cancellation/drain, which
+// unregisters the ledger so outstanding claims are fenced (their
+// publishes get 410) and the job takes its normal requeue/cancel
+// transition with everything already published still durable. On
+// completion the report is merged exclusively from cache bytes, exactly
+// like a local run.
 func (s *Server) executeDistributed(ctx context.Context, id string, a *activeJob, sp JobSpec, raw json.RawMessage, keys []string, skip []int) error {
 	led := coord.NewLedger(sp.Runs, s.lease)
+	led.SetMaxAttempts(s.maxAttempts)
+	wal, recs, err := coord.OpenWAL(filepath.Join(s.store.JobDir(id), "claims.ndjson"))
+	if err != nil {
+		return err
+	}
+	defer wal.Close()
+	if err := led.Recover(wal, recs); err != nil {
+		return err
+	}
+	if len(recs) > 0 {
+		s.logf("%s: replayed %d claim-ledger records", id, len(recs))
+	}
+	// Checkpointed/cached indices override replayed claim state: bytes
+	// already durable trump any stale lease over them.
 	led.MarkDone(skip...)
 	d := &distJob{ledger: led, spec: sp, raw: raw, keys: keys, a: a}
 	s.cmu.Lock()
@@ -158,9 +178,18 @@ func (s *Server) executeDistributed(ctx context.Context, id string, a *activeJob
 		s.cmu.Unlock()
 	}()
 	s.logf("%s: accepting claims (%d/%d runs already complete, lease %s)", id, len(skip), sp.Runs, s.lease)
+	// A fully-recovered sweep may be done (or fatal) already; prefer
+	// done — every index durable means the poison verdict is moot.
 	select {
 	case <-led.Done():
 		return s.merge(id, sp, keys)
+	default:
+	}
+	select {
+	case <-led.Done():
+		return s.merge(id, sp, keys)
+	case <-led.Fatal():
+		return led.FatalErr()
 	case <-ctx.Done():
 		return ctx.Err()
 	}

@@ -28,6 +28,11 @@ type Config struct {
 	// (0 means coord.DefaultLease). A worker that misses renewing for a
 	// full lease loses its claim and the range is re-issued.
 	Lease time.Duration
+	// MaxAttempts is the per-index attempt budget for distributed jobs
+	// (0 means coord.DefaultMaxAttempts). A run index whose claimants
+	// die or fail this many times is quarantined and the job fails
+	// loudly with a per-index diagnosis instead of livelocking workers.
+	MaxAttempts int
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -43,6 +48,7 @@ type Server struct {
 	sweepWorkers int
 	workers      int
 	lease        time.Duration
+	maxAttempts  int
 
 	ctx      context.Context // canceled by Drain; aborts in-flight sweeps
 	ctxStop  context.CancelFunc
@@ -122,6 +128,7 @@ func New(cfg Config) (*Server, error) {
 		sweepWorkers: cfg.SweepWorkers,
 		workers:      workers,
 		lease:        lease,
+		maxAttempts:  cfg.MaxAttempts,
 		ctx:          ctx,
 		ctxStop:      stop,
 		active:       make(map[string]*activeJob),
